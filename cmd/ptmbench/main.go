@@ -1,0 +1,128 @@
+// Command ptmbench regenerates the paper's figures on the simulated
+// Optane machine: throughput-vs-threads panels for Figures 3, 4, 6,
+// and 7, and the memcached working-set sweep of Figure 8.
+//
+// Usage:
+//
+//	ptmbench -fig 3            # six panels, 8 curves each (quick scale)
+//	ptmbench -fig 4 -full      # TATP at the paper's full thread axis
+//	ptmbench -fig 8            # working-set sweep
+//	ptmbench -all              # everything
+//
+// Output is an aligned text table per panel; -v streams per-point
+// progress. Quick mode (default) completes in minutes; -full runs the
+// paper's {1,2,4,8,16,32} thread axis with longer windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"goptm/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 3, 4, 6, 7, or 8")
+	all := flag.Bool("all", false, "regenerate every figure")
+	full := flag.Bool("full", false, "full paper scale (slower) instead of quick scale")
+	verbose := flag.Bool("v", false, "stream per-point progress")
+	csvPath := flag.String("csv", "", "also append machine-readable CSV rows to this file")
+	flag.Parse()
+
+	if !*all && (*fig < 3 || *fig > 8 || *fig == 5) {
+		fmt.Fprintln(os.Stderr, "usage: ptmbench -fig {3|4|6|7|8} [-full] [-v], or -all")
+		os.Exit(2)
+	}
+
+	p := harness.QuickParams()
+	if *full {
+		p = harness.FullParams()
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	var csvOut io.Writer
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	run := func(n int) {
+		if err := runFigure(n, p, progress, csvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *all {
+		for _, n := range []int{3, 4, 6, 7, 8} {
+			run(n)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func runFigure(n int, p harness.Params, progress, csvOut io.Writer) error {
+	emit := func(fig harness.Figure) error {
+		fig.Print(os.Stdout)
+		if csvOut != nil {
+			return fig.WriteCSV(csvOut)
+		}
+		return nil
+	}
+	switch n {
+	case 3, 6:
+		cells := harness.Fig34Cells()
+		name := "Figure 3"
+		if n == 6 {
+			cells = harness.Fig67Cells()
+			name = "Figure 6"
+		}
+		for _, mk := range harness.PanelWorkloads() {
+			fig, err := harness.RunPanel(name, mk, cells, p, progress)
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+	case 4, 7:
+		cells := harness.Fig34Cells()
+		name := "Figure 4"
+		if n == 7 {
+			cells = harness.Fig67Cells()
+			name = "Figure 7"
+		}
+		fig, err := harness.RunPanel(name, harness.TATPWorkload(), cells, p, progress)
+		if err != nil {
+			return err
+		}
+		if err := emit(fig); err != nil {
+			return err
+		}
+	case 8:
+		points, err := harness.RunFig8(p, progress)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig8(points, os.Stdout)
+		if csvOut != nil {
+			if err := harness.WriteFig8CSV(points, csvOut); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown figure %d", n)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command ptmcrash is a crash-recovery torture tool: it runs a
+// transfer workload, injects a simulated power failure at a random
+// commit-protocol point, recovers, and verifies that the recovered
+// heap is transactionally consistent (total balance conserved, every
+// committed transaction durable). It repeats this for -iters rounds
+// across both algorithms and all durability domains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+	"goptm/internal/simtime"
+)
+
+const (
+	accounts       = 64
+	initialBalance = 1_000
+)
+
+func main() {
+	iters := flag.Int("iters", 50, "crash/recover rounds per configuration")
+	seed := flag.Uint64("seed", 1, "torture RNG seed")
+	flag.Parse()
+
+	domains := []durability.Domain{durability.ADR, durability.EADR, durability.PDRAM, durability.PDRAMLite}
+	algos := []core.Algo{core.OrecLazy, core.OrecEager}
+
+	total := 0
+	for _, dom := range domains {
+		for _, algo := range algos {
+			n, err := torture(algo, dom, *iters, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ptmcrash: %v/%v: %v\n", algo, dom, err)
+				os.Exit(1)
+			}
+			total += n
+			fmt.Printf("%-6v %-11v %4d crash points survived\n", algo, dom, n)
+		}
+	}
+	fmt.Printf("OK: %d crash/recover rounds, all invariants held\n", total)
+}
+
+// torture runs iters rounds for one configuration and returns the
+// number of crash points exercised.
+func torture(algo core.Algo, dom durability.Domain, iters int, seed uint64) (int, error) {
+	points := []string{"lazy:pre-marker", "lazy:post-marker", "lazy:mid-writeback", "lazy:post-writeback"}
+	if algo == core.OrecEager {
+		points = []string{"eager:post-log", "eager:pre-clear"}
+	}
+	r := simtime.NewRand(seed)
+	survived := 0
+	for i := 0; i < iters; i++ {
+		tm, err := core.New(core.Config{
+			Algo: algo, Medium: core.MediumNVM, Domain: dom,
+			Threads: 1, HeapWords: 1 << 16, MaxLogEntries: 256, OrecSize: 1 << 12,
+		})
+		if err != nil {
+			return survived, err
+		}
+
+		// Build the bank.
+		th := tm.Thread(0)
+		var base memdev.Addr
+		th.Atomic(func(tx *core.Tx) {
+			base = tx.Alloc(accounts)
+			for a := 0; a < accounts; a++ {
+				tx.Store(base+memdev.Addr(a), initialBalance)
+			}
+		})
+		tm.SetRoot(th, 0, base)
+
+		// Commit a few transfers, then crash one mid-protocol.
+		committed := 5 + r.Intn(20)
+		for t := 0; t < committed; t++ {
+			transfer(th, base, r)
+		}
+		point := points[r.Intn(len(points))]
+		fired := false
+		tm.SetCrashHook(func(p string, _ *core.Thread) {
+			if p == point && !fired {
+				fired = true
+				panic(core.PowerFailure{Point: p})
+			}
+		})
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(core.PowerFailure); !ok {
+						panic(rec)
+					}
+				}
+			}()
+			transfer(th, base, r)
+		}()
+		vt := th.Now()
+		th.Detach()
+		tm.Crash(vt)
+
+		tm2, _, err := core.Reopen(tm.Bus(), tm.Config())
+		if err != nil {
+			return survived, fmt.Errorf("round %d (%s): reopen: %w", i, point, err)
+		}
+		if err := verify(tm2); err != nil {
+			return survived, fmt.Errorf("round %d (crash at %s): %w", i, point, err)
+		}
+		survived++
+	}
+	return survived, nil
+}
+
+// transfer moves a random amount between two random accounts.
+func transfer(th *core.Thread, base memdev.Addr, r *simtime.Rand) {
+	from := memdev.Addr(r.Intn(accounts))
+	to := memdev.Addr(r.Intn(accounts))
+	amt := uint64(r.Intn(100))
+	th.Atomic(func(tx *core.Tx) {
+		f := tx.Load(base + from)
+		tx.Store(base+from, f-amt)
+		t := tx.Load(base + to)
+		tx.Store(base+to, t+amt)
+	})
+}
+
+// verify checks conservation of the total balance on the recovered
+// heap.
+func verify(tm *core.TM) error {
+	th := tm.Thread(0)
+	defer th.Detach()
+	base := tm.Root(th, 0)
+	var sum uint64
+	th.Atomic(func(tx *core.Tx) {
+		sum = 0
+		for a := 0; a < accounts; a++ {
+			sum += tx.Load(base + memdev.Addr(a))
+		}
+	})
+	if want := uint64(accounts * initialBalance); sum != want {
+		return fmt.Errorf("total balance %d, want %d — atomicity violated", sum, want)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// HTM and reserve energy: the two future-work directions of the
+// paper's §V, demonstrated on the simulated machine.
+//
+// Part 1 runs the same counter workload under eADR with the software
+// redo PTM and with TSX-style hardware transactions: HTM commits with
+// no log at all (stores are durable at retirement under eADR), so it
+// finishes the same work in less virtual time. Under ADR the HTM
+// configuration is rejected outright — a clwb inside a hardware
+// transaction aborts it.
+//
+// Part 2 estimates how much reserve power each durability domain
+// would need to honor its crash promise for the machine state this
+// workload leaves behind.
+//
+//	go run ./examples/htmenergy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/energy"
+	"goptm/internal/memdev"
+)
+
+func main() {
+	// Part 1: HTM vs software redo under eADR.
+	fmt.Println("HTM vs software redo (eADR, 2000 transactions of 16 writes):")
+	for _, algo := range []core.Algo{core.OrecLazy, core.AlgoHTM} {
+		vt, fallbacks := runCounter(algo)
+		fmt.Printf("  %-5s finished in %6.2f ms virtual (%d fallbacks)\n",
+			algo, float64(vt)/1e6, fallbacks)
+	}
+
+	// HTM under ADR is a configuration error, not a silent hazard.
+	if _, err := core.New(core.Config{
+		Algo: core.AlgoHTM, Medium: core.MediumNVM, Domain: durability.ADR, Threads: 1,
+	}); err != nil {
+		fmt.Printf("\nHTM under ADR is rejected: %v\n", err)
+	}
+
+	// Part 2: reserve-power estimates.
+	fmt.Println("\nReserve power to honor each domain's crash promise (same workload):")
+	platform := energy.DefaultPlatform()
+	for _, dom := range []durability.Domain{
+		durability.ADR, durability.EADR, durability.PDRAM, durability.PDRAMLite,
+	} {
+		algo := core.OrecLazy
+		tm, err := core.New(core.Config{
+			Algo: algo, Medium: core.MediumNVM, Domain: dom,
+			Threads: 1, HeapWords: 1 << 18,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *core.Tx) { a = tx.Alloc(1 << 12) })
+		for i := 0; i < 500; i++ {
+			i := i
+			th.Atomic(func(tx *core.Tx) {
+				for w := 0; w < 8; w++ {
+					tx.Store(a+memdev.Addr((i*8+w)%(1<<12)), uint64(i))
+				}
+			})
+		}
+		vt := th.Now()
+		th.Detach()
+		fmt.Printf("  %s\n", energy.Estimate(tm.Bus(), vt, platform))
+	}
+}
+
+// runCounter performs the fixed workload and returns the virtual time
+// it took plus HTM fallback count.
+func runCounter(algo core.Algo) (int64, int64) {
+	tm, err := core.New(core.Config{
+		Algo: algo, Medium: core.MediumNVM, Domain: durability.EADR,
+		Threads: 1, HeapWords: 1 << 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := tm.Thread(0)
+	defer th.Detach()
+	var a memdev.Addr
+	th.Atomic(func(tx *core.Tx) { a = tx.Alloc(16) })
+	start := th.Now()
+	for i := 0; i < 2000; i++ {
+		i := i
+		th.Atomic(func(tx *core.Tx) {
+			for w := 0; w < 16; w++ {
+				tx.Store(a+memdev.Addr(w), uint64(i+w))
+			}
+		})
+	}
+	return th.Now() - start, th.Stats().HTMFallbacks
+}

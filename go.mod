@@ -1,0 +1,3 @@
+module goptm
+
+go 1.22

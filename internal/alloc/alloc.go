@@ -1,0 +1,316 @@
+// Package alloc implements a Makalu-style recoverable allocator for
+// the persistent heap (Bhandari et al., OOPSLA'16 — the allocator the
+// paper's experiments use).
+//
+// Design, simplified to the features the reproduction needs:
+//
+//   - Every block carries a one-word header (size in words, including
+//     the header, plus an allocated flag). Headers are written with a
+//     clwb so that the post-crash heap can be parsed.
+//   - Runtime allocation uses volatile power-of-two free lists plus a
+//     persistent bump frontier. The free lists are an optimization
+//     only: recovery never trusts them.
+//   - A fixed array of persistent root slots anchors the application's
+//     data structures.
+//   - Recovery performs a conservative mark-and-sweep from the roots
+//     (Makalu's offline GC): any payload word that equals the payload
+//     address of a parsed block is treated as a pointer. Unreachable
+//     blocks — including blocks leaked by transactions that aborted or
+//     died mid-flight — are swept back onto the free lists.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"goptm/internal/membus"
+	"goptm/internal/memdev"
+)
+
+// Heap header word offsets (from the heap base).
+const (
+	offMagic    = 0
+	offFrontier = 1
+	offEnd      = 2
+	offRoots    = 8 // root slots start here, one word each
+)
+
+const magic = 0x4D414B41 // "MAKA"
+
+// MinBlockWords is the smallest block (header + 7 payload words).
+const MinBlockWords = 8
+
+// maxClass is the largest size-class block (2^maxClassLog words).
+const maxClassLog = 16
+
+const (
+	flagAllocated = 1
+	headerShift   = 8
+)
+
+// Heap is the allocator state. The persistent part lives in the
+// simulated device; free lists are volatile. Safe for concurrent use.
+type Heap struct {
+	bus   *membus.Bus
+	base  memdev.Addr
+	words uint64
+	slots int
+
+	mu        sync.Mutex
+	free      [maxClassLog + 1][]memdev.Addr // per-class free block addresses
+	frontier  memdev.Addr                    // volatile mirror of offFrontier
+	end       memdev.Addr
+	allocated int64 // live block count, for stats
+}
+
+func header(size uint64, allocated bool) uint64 {
+	h := size << headerShift
+	if allocated {
+		h |= flagAllocated
+	}
+	return h
+}
+
+func headerSize(h uint64) uint64 { return h >> headerShift }
+func headerAlloc(h uint64) bool  { return h&flagAllocated != 0 }
+func classFor(words uint64) uint64 {
+	c := uint64(MinBlockWords)
+	for c < words {
+		c <<= 1
+	}
+	return c
+}
+
+func classLog(size uint64) int {
+	l := 0
+	for s := uint64(1); s < size; s <<= 1 {
+		l++
+	}
+	return l
+}
+
+// Format initializes a fresh heap occupying words words at base, with
+// rootSlots persistent root slots, and returns the handle. ctx is
+// charged for the formatting stores.
+func Format(ctx *membus.Context, base memdev.Addr, words uint64, rootSlots int) (*Heap, error) {
+	if words < 64 {
+		return nil, fmt.Errorf("alloc: heap of %d words is too small", words)
+	}
+	if rootSlots < 1 || uint64(rootSlots) > words/2 {
+		return nil, fmt.Errorf("alloc: invalid root slot count %d", rootSlots)
+	}
+	h := &Heap{bus: ctx.Bus(), base: base, words: words, slots: rootSlots}
+	blocksStart := h.blocksStart()
+	ctx.Store(base+offMagic, magic)
+	ctx.Store(base+offFrontier, uint64(blocksStart))
+	ctx.Store(base+offEnd, uint64(base)+words)
+	for s := 0; s < rootSlots; s++ {
+		ctx.Store(base+offRoots+memdev.Addr(s), 0)
+	}
+	ctx.CLWB(base)
+	ctx.SFence()
+	h.frontier = blocksStart
+	h.end = base + memdev.Addr(words)
+	return h, nil
+}
+
+// Attach opens an existing heap at base (after a crash and recovery of
+// the media image). It parses the persistent words and rebuilds the
+// volatile free lists with a conservative mark-and-sweep from the
+// roots. It returns the heap and the number of blocks swept free.
+func Attach(ctx *membus.Context, base memdev.Addr, words uint64, rootSlots int) (*Heap, int, error) {
+	if got := ctx.Load(base + offMagic); got != magic {
+		return nil, 0, fmt.Errorf("alloc: bad heap magic %#x at %#x", got, uint64(base))
+	}
+	h := &Heap{bus: ctx.Bus(), base: base, words: words, slots: rootSlots}
+	h.frontier = memdev.Addr(ctx.Load(base + offFrontier))
+	h.end = memdev.Addr(ctx.Load(base + offEnd))
+	if h.end != base+memdev.Addr(words) {
+		return nil, 0, fmt.Errorf("alloc: heap end mismatch: stored %#x, expected %#x", uint64(h.end), uint64(base)+words)
+	}
+	swept := h.recoverLocked(ctx)
+	return h, swept, nil
+}
+
+// blocksStart returns the first block address: headers + root slots,
+// rounded up to a line boundary.
+func (h *Heap) blocksStart() memdev.Addr {
+	s := uint64(h.base) + offRoots + uint64(h.slots)
+	s = (s + memdev.WordsPerLine - 1) &^ uint64(memdev.WordsPerLine-1)
+	return memdev.Addr(s)
+}
+
+// Alloc returns the payload address of a block with at least words
+// payload words. It panics if the heap is exhausted — the simulated
+// experiments size their heaps; exhaustion is a configuration bug.
+func (h *Heap) Alloc(ctx *membus.Context, words uint64) memdev.Addr {
+	if words == 0 {
+		words = 1
+	}
+	size := classFor(words + 1) // +1 header
+	cl := classLog(size)
+	h.mu.Lock()
+	if cl <= maxClassLog && len(h.free[cl]) > 0 {
+		a := h.free[cl][len(h.free[cl])-1]
+		h.free[cl] = h.free[cl][:len(h.free[cl])-1]
+		h.allocated++
+		h.mu.Unlock()
+		ctx.Store(a, header(size, true))
+		ctx.CLWB(a)
+		return a + 1
+	}
+	a := h.frontier
+	if uint64(a)+size > uint64(h.end) {
+		h.mu.Unlock()
+		panic(fmt.Sprintf("alloc: heap exhausted (frontier %#x + %d > end %#x)", uint64(a), size, uint64(h.end)))
+	}
+	h.frontier = a + memdev.Addr(size)
+	h.allocated++
+	newFront := uint64(h.frontier)
+	h.mu.Unlock()
+	ctx.Store(a, header(size, true))
+	ctx.CLWB(a)
+	// Publish the frontier so a post-crash parse stops at the right
+	// place. The header clwb and this store are ordered by the
+	// caller's next fence; recovery tolerates a stale frontier by
+	// validating headers.
+	ctx.Store(h.base+offFrontier, newFront)
+	ctx.CLWB(h.base + offFrontier)
+	return a + 1
+}
+
+// Free returns the block whose payload starts at payload to the free
+// lists. The header is marked free persistently so a crash between
+// Free and reuse cannot resurrect the block as allocated-but-
+// unreachable garbage (recovery would sweep it anyway).
+func (h *Heap) Free(ctx *membus.Context, payload memdev.Addr) {
+	a := payload - 1
+	hw := ctx.Load(a)
+	if !headerAlloc(hw) {
+		panic(fmt.Sprintf("alloc: double free of block at %#x", uint64(a)))
+	}
+	size := headerSize(hw)
+	ctx.Store(a, header(size, false))
+	ctx.CLWB(a)
+	cl := classLog(size)
+	h.mu.Lock()
+	if cl <= maxClassLog {
+		h.free[cl] = append(h.free[cl], a)
+	}
+	h.allocated--
+	h.mu.Unlock()
+}
+
+// SetRoot durably stores a root pointer in slot.
+func (h *Heap) SetRoot(ctx *membus.Context, slot int, a memdev.Addr) {
+	if slot < 0 || slot >= h.slots {
+		panic(fmt.Sprintf("alloc: root slot %d out of range", slot))
+	}
+	ctx.Store(h.base+offRoots+memdev.Addr(slot), uint64(a))
+	ctx.CLWB(h.base + offRoots + memdev.Addr(slot))
+	ctx.SFence()
+}
+
+// Root reads the root pointer in slot.
+func (h *Heap) Root(ctx *membus.Context, slot int) memdev.Addr {
+	if slot < 0 || slot >= h.slots {
+		panic(fmt.Sprintf("alloc: root slot %d out of range", slot))
+	}
+	return memdev.Addr(ctx.Load(h.base + offRoots + memdev.Addr(slot)))
+}
+
+// LiveBlocks reports the current number of allocated blocks.
+func (h *Heap) LiveBlocks() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocated
+}
+
+// Base returns the heap's base address.
+func (h *Heap) Base() memdev.Addr { return h.base }
+
+// recoverLocked parses the heap, marks reachable blocks from the
+// roots (conservatively), and sweeps the rest onto the free lists.
+// Returns the number of blocks swept.
+func (h *Heap) recoverLocked(ctx *membus.Context) int {
+	type block struct {
+		addr memdev.Addr
+		size uint64
+	}
+	// Parse the block area. Stop at the first invalid header: that is
+	// the true frontier (the stored frontier may lag by one block if
+	// the crash hit between header flush and frontier flush).
+	var blocks []block
+	payloadToBlock := make(map[memdev.Addr]int)
+	a := h.blocksStart()
+	for a < h.end {
+		hw := ctx.Load(a)
+		size := headerSize(hw)
+		if size < MinBlockWords || uint64(a)+size > uint64(h.end) || size&(size-1) != 0 {
+			break
+		}
+		payloadToBlock[a+1] = len(blocks)
+		blocks = append(blocks, block{addr: a, size: size})
+		a += memdev.Addr(size)
+	}
+	h.frontier = a
+
+	// Conservative mark from the roots.
+	marked := make([]bool, len(blocks))
+	var stack []int
+	for s := 0; s < h.slots; s++ {
+		v := memdev.Addr(ctx.Load(h.base + offRoots + memdev.Addr(s)))
+		if bi, ok := payloadToBlock[v]; ok {
+			if !marked[bi] {
+				marked[bi] = true
+				stack = append(stack, bi)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := blocks[bi]
+		for w := b.addr + 1; w < b.addr+memdev.Addr(b.size); w++ {
+			v := memdev.Addr(ctx.Load(w))
+			if ti, ok := payloadToBlock[v]; ok && !marked[ti] {
+				marked[ti] = true
+				stack = append(stack, ti)
+			}
+		}
+	}
+
+	// Sweep.
+	h.mu.Lock()
+	for i := range h.free {
+		h.free[i] = nil
+	}
+	swept := 0
+	live := int64(0)
+	for i, b := range blocks {
+		if marked[i] {
+			live++
+			if !headerAlloc(ctx.Load(b.addr)) {
+				// Reachable but marked free (crash between unlink and
+				// free-list push): resurrect as allocated.
+				ctx.Store(b.addr, header(b.size, true))
+				ctx.CLWB(b.addr)
+			}
+			continue
+		}
+		swept++
+		ctx.Store(b.addr, header(b.size, false))
+		ctx.CLWB(b.addr)
+		cl := classLog(b.size)
+		if cl <= maxClassLog {
+			h.free[cl] = append(h.free[cl], b.addr)
+		}
+	}
+	h.allocated = live
+	// Re-publish a precise frontier.
+	ctx.Store(h.base+offFrontier, uint64(h.frontier))
+	ctx.CLWB(h.base + offFrontier)
+	ctx.SFence()
+	h.mu.Unlock()
+	return swept
+}

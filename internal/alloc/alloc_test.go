@@ -1,0 +1,410 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"goptm/internal/durability"
+	"goptm/internal/membus"
+	"goptm/internal/memdev"
+)
+
+func setup(t testing.TB) (*membus.Bus, *membus.Context, *Heap) {
+	t.Helper()
+	b := membus.MustNew(membus.Config{
+		Threads: 1,
+		Domain:  durability.ADR,
+		Dev:     memdev.Config{NVMWords: 1 << 16, DRAMWords: 1 << 12},
+	})
+	ctx := b.NewContext(0)
+	h, err := Format(ctx, 0, 1<<16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, ctx, h
+}
+
+func TestFormatValidation(t *testing.T) {
+	b := membus.MustNew(membus.Config{
+		Threads: 1, Domain: durability.ADR,
+		Dev: memdev.Config{NVMWords: 1 << 12, DRAMWords: 64},
+	})
+	ctx := b.NewContext(0)
+	defer ctx.Detach()
+	if _, err := Format(ctx, 0, 32, 4); err == nil {
+		t.Error("tiny heap accepted")
+	}
+	if _, err := Format(ctx, 0, 4096, 0); err == nil {
+		t.Error("zero root slots accepted")
+	}
+}
+
+func TestAllocDistinctAndAligned(t *testing.T) {
+	_, ctx, h := setup(t)
+	defer ctx.Detach()
+	seen := make(map[memdev.Addr]bool)
+	for i := 0; i < 100; i++ {
+		a := h.Alloc(ctx, 10)
+		if seen[a] {
+			t.Fatalf("duplicate allocation %#x", uint64(a))
+		}
+		seen[a] = true
+	}
+	if h.LiveBlocks() != 100 {
+		t.Fatalf("live = %d, want 100", h.LiveBlocks())
+	}
+}
+
+func TestAllocZeroWords(t *testing.T) {
+	_, ctx, h := setup(t)
+	defer ctx.Detach()
+	a := h.Alloc(ctx, 0)
+	ctx.Store(a, 42)
+	if ctx.Load(a) != 42 {
+		t.Fatal("zero-word alloc unusable")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	_, ctx, h := setup(t)
+	defer ctx.Detach()
+	a := h.Alloc(ctx, 10)
+	h.Free(ctx, a)
+	if h.LiveBlocks() != 0 {
+		t.Fatal("free did not decrement live count")
+	}
+	b := h.Alloc(ctx, 10)
+	if b != a {
+		t.Fatalf("same-class alloc did not reuse freed block: %#x vs %#x", uint64(b), uint64(a))
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	_, ctx, h := setup(t)
+	defer ctx.Detach()
+	a := h.Alloc(ctx, 4)
+	h.Free(ctx, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	h.Free(ctx, a)
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	b := membus.MustNew(membus.Config{
+		Threads: 1, Domain: durability.ADR,
+		Dev: memdev.Config{NVMWords: 1 << 12, DRAMWords: 64},
+	})
+	ctx := b.NewContext(0)
+	defer ctx.Detach()
+	h, err := Format(ctx, 0, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion did not panic")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		h.Alloc(ctx, 64)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	_, ctx, h := setup(t)
+	defer ctx.Detach()
+	a := h.Alloc(ctx, 8)
+	h.SetRoot(ctx, 3, a)
+	if h.Root(ctx, 3) != a {
+		t.Fatal("root round trip failed")
+	}
+	if h.Root(ctx, 0) != 0 {
+		t.Fatal("unset root not zero")
+	}
+}
+
+func TestRootSlotRangePanics(t *testing.T) {
+	_, ctx, h := setup(t)
+	defer ctx.Detach()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range root accepted")
+		}
+	}()
+	h.SetRoot(ctx, 8, 0)
+}
+
+func TestSizeClasses(t *testing.T) {
+	if classFor(7) != 8 || classFor(8) != 8 || classFor(9) != 16 {
+		t.Fatal("classFor wrong")
+	}
+	if classLog(8) != 3 || classLog(1024) != 10 {
+		t.Fatal("classLog wrong")
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(size uint32, al bool) bool {
+		s := uint64(size)
+		h := header(s, al)
+		return headerSize(h) == s && headerAlloc(h) == al
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachAfterCleanShutdown(t *testing.T) {
+	bus, ctx, h := setup(t)
+	a := h.Alloc(ctx, 16)
+	ctx.Store(a, 1234)
+	ctx.CLWB(a)
+	ctx.SFence()
+	h.SetRoot(ctx, 0, a)
+	vt := ctx.Now()
+	ctx.Detach()
+	bus.Quiesce()
+	bus.Crash(vt)
+
+	ctx2 := bus.NewContext(0)
+	defer ctx2.Detach()
+	h2, swept, err := Attach(ctx2, 0, 1<<16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != 0 {
+		t.Fatalf("clean heap swept %d blocks", swept)
+	}
+	r := h2.Root(ctx2, 0)
+	if r != a {
+		t.Fatalf("root lost: %#x vs %#x", uint64(r), uint64(a))
+	}
+	if ctx2.Load(r) != 1234 {
+		t.Fatal("payload lost")
+	}
+	if h2.LiveBlocks() != 1 {
+		t.Fatalf("live = %d, want 1", h2.LiveBlocks())
+	}
+}
+
+func TestRecoverySweepsLeakedBlocks(t *testing.T) {
+	// Blocks allocated but never linked to a root are garbage after a
+	// crash (e.g. a transaction died before publishing them). The
+	// conservative GC must sweep them and allow their reuse.
+	bus, ctx, h := setup(t)
+	rooted := h.Alloc(ctx, 8)
+	h.SetRoot(ctx, 0, rooted)
+	for i := 0; i < 5; i++ {
+		h.Alloc(ctx, 8) // leaked
+	}
+	vt := ctx.Now()
+	ctx.Detach()
+	bus.Quiesce()
+	bus.Crash(vt)
+
+	ctx2 := bus.NewContext(0)
+	defer ctx2.Detach()
+	h2, swept, err := Attach(ctx2, 0, 1<<16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != 5 {
+		t.Fatalf("swept = %d, want 5", swept)
+	}
+	if h2.LiveBlocks() != 1 {
+		t.Fatalf("live = %d, want 1", h2.LiveBlocks())
+	}
+}
+
+func TestRecoveryFollowsPointerChains(t *testing.T) {
+	// root -> A -> B -> C; D unreachable.
+	bus, ctx, h := setup(t)
+	cBlk := h.Alloc(ctx, 8)
+	bBlk := h.Alloc(ctx, 8)
+	aBlk := h.Alloc(ctx, 8)
+	h.Alloc(ctx, 8) // D: unreachable
+	ctx.Store(aBlk, uint64(bBlk))
+	ctx.Store(bBlk, uint64(cBlk))
+	for _, a := range []memdev.Addr{aBlk, bBlk, cBlk} {
+		ctx.CLWB(a)
+	}
+	ctx.SFence()
+	h.SetRoot(ctx, 0, aBlk)
+	vt := ctx.Now()
+	ctx.Detach()
+	bus.Quiesce()
+	bus.Crash(vt)
+
+	ctx2 := bus.NewContext(0)
+	defer ctx2.Detach()
+	h2, swept, err := Attach(ctx2, 0, 1<<16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != 1 {
+		t.Fatalf("swept = %d, want 1 (only D)", swept)
+	}
+	if h2.LiveBlocks() != 3 {
+		t.Fatalf("live = %d, want 3", h2.LiveBlocks())
+	}
+	// The chain must still read correctly.
+	a := h2.Root(ctx2, 0)
+	b := memdev.Addr(ctx2.Load(a))
+	c := memdev.Addr(ctx2.Load(b))
+	if b != bBlk || c != cBlk {
+		t.Fatal("pointer chain corrupted by recovery")
+	}
+}
+
+func TestAttachRejectsBadMagic(t *testing.T) {
+	bus := membus.MustNew(membus.Config{
+		Threads: 1, Domain: durability.ADR,
+		Dev: memdev.Config{NVMWords: 1 << 12, DRAMWords: 64},
+	})
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+	if _, _, err := Attach(ctx, 0, 4096, 4); err == nil {
+		t.Fatal("attach to unformatted heap succeeded")
+	}
+}
+
+func TestReuseAfterRecoverySweep(t *testing.T) {
+	bus, ctx, h := setup(t)
+	for i := 0; i < 10; i++ {
+		h.Alloc(ctx, 8) // all leaked
+	}
+	vt := ctx.Now()
+	ctx.Detach()
+	bus.Quiesce()
+	bus.Crash(vt)
+
+	ctx2 := bus.NewContext(0)
+	defer ctx2.Detach()
+	h2, _, err := Attach(ctx2, 0, 1<<16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := h2.frontier
+	// New allocations should come from the swept free lists, not
+	// advance the frontier.
+	for i := 0; i < 10; i++ {
+		h2.Alloc(ctx2, 8)
+	}
+	if h2.frontier != front {
+		t.Fatal("recovered free blocks not reused")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	b := membus.MustNew(membus.Config{
+		Threads: 4,
+		Domain:  durability.ADR,
+		Dev:     memdev.Config{NVMWords: 1 << 18, DRAMWords: 1 << 12},
+	})
+	ctx0 := b.NewContext(0)
+	h, err := Format(ctx0, 0, 1<<18, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx0.Detach()
+	ctxs := make([]*membus.Context, 4)
+	for i := range ctxs {
+		ctxs[i] = b.NewContext(i)
+	}
+	done := make(chan map[memdev.Addr]bool, 4)
+	for g := 0; g < 4; g++ {
+		go func(ctx *membus.Context) {
+			defer ctx.Detach()
+			mine := make(map[memdev.Addr]bool)
+			var live []memdev.Addr
+			for i := 0; i < 500; i++ {
+				if len(live) > 0 && i%3 == 0 {
+					a := live[len(live)-1]
+					live = live[:len(live)-1]
+					h.Free(ctx, a)
+					delete(mine, a)
+				} else {
+					a := h.Alloc(ctx, 8)
+					if mine[a] {
+						// Duplicate within own set: allocator reused a
+						// block we still hold.
+						done <- nil
+						return
+					}
+					mine[a] = true
+					live = append(live, a)
+				}
+			}
+			done <- mine
+		}(ctxs[g])
+	}
+	all := make(map[memdev.Addr]int)
+	for g := 0; g < 4; g++ {
+		m := <-done
+		if m == nil {
+			t.Fatal("allocator handed out a block still held by the same goroutine")
+		}
+		for a := range m {
+			all[a]++
+		}
+	}
+	for a, n := range all {
+		if n > 1 {
+			t.Fatalf("block %#x live in %d goroutines at once", uint64(a), n)
+		}
+	}
+}
+
+func TestLargeAllocationBeyondClasses(t *testing.T) {
+	// Blocks larger than the largest size class bypass the free lists
+	// but must still allocate, free, and survive recovery parsing.
+	b := membus.MustNew(membus.Config{
+		Threads: 1, Domain: durability.ADR,
+		Dev: memdev.Config{NVMWords: 1 << 20, DRAMWords: 64},
+	})
+	ctx := b.NewContext(0)
+	h, err := Format(ctx, 0, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := h.Alloc(ctx, 1<<17) // 128K words: above maxClassLog
+	ctx.Store(big, 42)
+	ctx.Store(big+(1<<17)-1, 43)
+	ctx.CLWB(big)
+	ctx.CLWB(big + (1 << 17) - 1)
+	ctx.SFence()
+	if ctx.Load(big) != 42 || ctx.Load(big+(1<<17)-1) != 43 {
+		t.Fatal("large block unusable")
+	}
+	h.SetRoot(ctx, 0, big)
+	small := h.Alloc(ctx, 8)
+	ctx.Store(small, 1)
+	ctx.CLWB(small)
+	ctx.SFence()
+	vt := ctx.Now()
+	ctx.Detach()
+	b.Quiesce()
+	b.Crash(vt)
+
+	ctx2 := b.NewContext(0)
+	defer ctx2.Detach()
+	h2, swept, err := Attach(ctx2, 0, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != 1 { // the small leaked block
+		t.Fatalf("swept = %d, want 1", swept)
+	}
+	if h2.Root(ctx2, 0) != big {
+		t.Fatal("large rooted block lost")
+	}
+	if ctx2.Load(big) != 42 {
+		t.Fatal("large block payload lost")
+	}
+	// Free of an oversized block must not panic even though it cannot
+	// enter a size-class list.
+	h2.Free(ctx2, big)
+}

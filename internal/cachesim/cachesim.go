@@ -1,0 +1,283 @@
+// Package cachesim implements a set-associative cache hierarchy
+// simulator: per-thread L1 and L2 caches and a shared, sharded L3.
+//
+// The simulator answers two questions for every access: at which level
+// did the line hit (which determines latency, charged by membus), and
+// did the access evict a dirty line from the L3 (which generates
+// writeback traffic toward the memory controller, the key pressure
+// point for Optane scalability).
+//
+// Dirtiness is tracked at the shared L3 only; the private levels act
+// as latency filters. Cross-core invalidation traffic is not modeled —
+// the workloads under study are dominated by memory latency and
+// write-pending-queue behaviour, not coherence misses (see DESIGN.md).
+package cachesim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hit levels returned by Access.
+const (
+	HitL1  = 1
+	HitL2  = 2
+	HitL3  = 3
+	Miss   = 4 // serviced by memory (DRAM or NVM media)
+	shards = 64
+)
+
+// Config sizes the hierarchy. Lines counts are total lines per cache
+// (capacity / 64 B); Ways is the set associativity. Lines must be a
+// multiple of Ways.
+type Config struct {
+	Threads int
+	L1Lines int
+	L1Ways  int
+	L2Lines int
+	L2Ways  int
+	L3Lines int
+	L3Ways  int
+}
+
+// DefaultConfig returns a hierarchy scaled to the simulated machine:
+// 32 KB L1 and 256 KB L2 per thread, and an L3 sized by l3Lines
+// (experiments vary the L3 to study working-set effects).
+func DefaultConfig(threads, l3Lines int) Config {
+	return Config{
+		Threads: threads,
+		L1Lines: 512, L1Ways: 8,
+		L2Lines: 4096, L2Ways: 16,
+		L3Lines: l3Lines, L3Ways: 16,
+	}
+}
+
+type entry struct {
+	tag   uint64
+	stamp uint64
+	valid bool
+	dirty bool // meaningful in L3 only
+}
+
+// bank is one set-associative cache array with LRU replacement.
+type bank struct {
+	sets  int
+	ways  int
+	ents  []entry // sets*ways
+	clock uint64
+}
+
+func newBank(lines, ways int) *bank {
+	if lines <= 0 || ways <= 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("cachesim: invalid bank geometry lines=%d ways=%d", lines, ways))
+	}
+	return &bank{sets: lines / ways, ways: ways, ents: make([]entry, lines)}
+}
+
+// lookup probes for tag; on hit it refreshes LRU and returns the slot.
+func (b *bank) lookup(tag uint64) (int, bool) {
+	set := int(tag % uint64(b.sets))
+	base := set * b.ways
+	for i := base; i < base+b.ways; i++ {
+		if b.ents[i].valid && b.ents[i].tag == tag {
+			b.clock++
+			b.ents[i].stamp = b.clock
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// insert fills tag, evicting the LRU way. It returns the victim entry
+// if a valid line was displaced.
+func (b *bank) insert(tag uint64) (victim entry, evicted bool) {
+	set := int(tag % uint64(b.sets))
+	base := set * b.ways
+	slot := base
+	for i := base; i < base+b.ways; i++ {
+		if !b.ents[i].valid {
+			slot = i
+			break
+		}
+		if b.ents[i].stamp < b.ents[slot].stamp {
+			slot = i
+		}
+	}
+	victim, evicted = b.ents[slot], b.ents[slot].valid
+	b.clock++
+	b.ents[slot] = entry{tag: tag, stamp: b.clock, valid: true}
+	return victim, evicted
+}
+
+// Result describes one access.
+type Result struct {
+	Level         int    // HitL1 .. Miss
+	WritebackLine uint64 // dirty L3 victim, if any
+	HasWriteback  bool
+}
+
+// Hierarchy is the full cache simulator. Access is safe for concurrent
+// use provided each tid is driven by a single goroutine.
+type Hierarchy struct {
+	cfg Config
+	l1  []*bank // per thread
+	l2  []*bank // per thread
+	l3  [shards]struct {
+		mu sync.Mutex
+		b  *bank
+	}
+
+	statMu sync.Mutex
+	hits   [5]int64 // indexed by level
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	if cfg.Threads <= 0 {
+		panic("cachesim: need at least one thread")
+	}
+	h := &Hierarchy{cfg: cfg}
+	h.l1 = make([]*bank, cfg.Threads)
+	h.l2 = make([]*bank, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		h.l1[i] = newBank(cfg.L1Lines, cfg.L1Ways)
+		h.l2[i] = newBank(cfg.L2Lines, cfg.L2Ways)
+	}
+	per := cfg.L3Lines / shards
+	if per < cfg.L3Ways {
+		per = cfg.L3Ways
+	}
+	per = per / cfg.L3Ways * cfg.L3Ways
+	for i := range h.l3 {
+		h.l3[i].b = newBank(per, cfg.L3Ways)
+	}
+	return h
+}
+
+func (h *Hierarchy) shard(line uint64) int {
+	// Multiplicative hash so consecutive lines spread across shards.
+	return int((line * 0x9E3779B97F4A7C15) >> 58)
+}
+
+// Access simulates a load (write=false) or store (write=true) of line
+// by thread tid. Stores use write-allocate: a store miss fetches the
+// line first (the RFO read is charged by the caller via Level).
+func (h *Hierarchy) Access(tid int, line uint64, write bool) Result {
+	var res Result
+	l1, l2 := h.l1[tid], h.l2[tid]
+	switch {
+	case hitIn(l1, line):
+		res.Level = HitL1
+	case hitIn(l2, line):
+		res.Level = HitL2
+		l1.insert(line)
+	default:
+		res = h.accessL3(line, write)
+		l2.insert(line)
+		l1.insert(line)
+	}
+	if write && (res.Level == HitL1 || res.Level == HitL2) {
+		// Stores that hit a private level must still mark the shared
+		// copy dirty so that a later L3 eviction generates a
+		// writeback; dirtiness is tracked at L3 only (see package doc).
+		h.dirtyL3(line)
+	}
+	h.statMu.Lock()
+	h.hits[res.Level]++
+	h.statMu.Unlock()
+	return res
+}
+
+func hitIn(b *bank, line uint64) bool {
+	_, ok := b.lookup(line)
+	return ok
+}
+
+// accessL3 probes the shared L3, filling on miss.
+func (h *Hierarchy) accessL3(line uint64, write bool) Result {
+	s := &h.l3[h.shard(line)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.b.lookup(line); ok {
+		if write {
+			s.b.ents[i].dirty = true
+		}
+		return Result{Level: HitL3}
+	}
+	victim, evicted := s.b.insert(line)
+	res := Result{Level: Miss}
+	if evicted && victim.dirty {
+		res.WritebackLine = victim.tag
+		res.HasWriteback = true
+	}
+	if write {
+		i, _ := s.b.lookup(line)
+		s.b.ents[i].dirty = true
+	}
+	return res
+}
+
+// dirtyL3 marks line dirty in L3 if present; if the line is absent
+// (displaced from L3 while still in a private level) it is re-inserted
+// dirty, modeling the writeback path.
+func (h *Hierarchy) dirtyL3(line uint64) {
+	s := &h.l3[h.shard(line)]
+	s.mu.Lock()
+	if i, ok := s.b.lookup(line); ok {
+		s.b.ents[i].dirty = true
+	} else {
+		s.b.insert(line)
+		if i, ok := s.b.lookup(line); ok {
+			s.b.ents[i].dirty = true
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Clean clears the dirty bit of line in L3, modeling a clwb (which
+// writes the line back without invalidating it). It reports whether
+// the line was present and dirty.
+func (h *Hierarchy) Clean(line uint64) bool {
+	s := &h.l3[h.shard(line)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.b.lookup(line); ok && s.b.ents[i].dirty {
+		s.b.ents[i].dirty = false
+		return true
+	}
+	return false
+}
+
+// DirtyLineCount reports how many lines are currently dirty in the
+// shared L3 — the state an eADR flush-on-failure must write back.
+func (h *Hierarchy) DirtyLineCount() int {
+	n := 0
+	for i := range h.l3 {
+		s := &h.l3[i]
+		s.mu.Lock()
+		for _, e := range s.b.ents {
+			if e.valid && e.dirty {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Lines reports the total L3 capacity in lines (for worst-case
+// reserve estimates).
+func (h *Hierarchy) Lines() int {
+	total := 0
+	for i := range h.l3 {
+		total += len(h.l3[i].b.ents)
+	}
+	return total
+}
+
+// HitCounts returns cumulative access counts by level (index 1..4).
+func (h *Hierarchy) HitCounts() [5]int64 {
+	h.statMu.Lock()
+	defer h.statMu.Unlock()
+	return h.hits
+}

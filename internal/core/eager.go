@@ -1,0 +1,150 @@
+package core
+
+import (
+	"goptm/internal/memdev"
+)
+
+// This file implements "orec-eager": the undo-logging PTM with
+// encounter-time locking, the best-performing undo algorithm in the
+// paper's PACT'19 runtime.
+//
+// Persistence protocol (ADR; stronger domains elide flush/fence):
+//
+//	write     : 1. acquire the orec (CAS, abort on conflict)
+//	            2. append (addr, old value) to the undo log; store the
+//	               new count and status=ACTIVE; flush entry and
+//	               descriptor lines; FENCE        <- one fence PER WRITE
+//	            3. store the new value in place; flush the data line
+//	commit    : fence (data flushes ordered), validate reads,
+//	            store status=IDLE, flush, fence, release orecs at the
+//	            incremented clock
+//	abort     : roll the undo log backwards with in-place restores
+//	            (flushed), clear status, release orecs at their old
+//	            versions
+//
+// The per-write fence is the O(W) cost that §III-B blames for undo's
+// inferiority on every workload except tiny-write-set TATP.
+
+// loadEager reads in place; the thread's own locked locations are
+// directly readable because eager writes in place.
+func (tx *Tx) loadEager(a memdev.Addr) uint64 {
+	th := tx.th
+	t := th.tm.orecs
+	idx := t.Index(a)
+	for {
+		v1 := t.Load(idx)
+		th.ctx.MetaOp()
+		if lockedWord(v1) {
+			if versionOf(v1) == th.owner {
+				return th.ctx.Load(a) // own lock: in-place value is ours
+			}
+			tx.Abort()
+		}
+		val := th.ctx.Load(a)
+		v2 := t.Load(idx)
+		if v1 != v2 {
+			tx.Abort()
+		}
+		if versionOf(v1) <= tx.rv {
+			th.rset = append(th.rset, readRec{idx: idx, ver: versionOf(v1)})
+			return val
+		}
+		// See loadLazy: retry the read after a successful extension,
+		// or a racing commit could slip a stale value past validation.
+		if !tx.extend() {
+			tx.Abort()
+		}
+	}
+}
+
+// storeEager locks, logs the old value (durably, fenced), then
+// updates in place.
+func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
+	th := tx.th
+	t := th.tm.orecs
+	idx := t.Index(a)
+	th.ctx.MetaOp() // undo-log duplicate filter probe (as in the reference runtime)
+	cur := t.Load(idx)
+	th.ctx.MetaOp()
+	if lockedWord(cur) {
+		if versionOf(cur) != th.owner {
+			tx.Abort()
+		}
+	} else {
+		if versionOf(cur) > tx.rv {
+			if !tx.extend() {
+				tx.Abort()
+			}
+		}
+		if !t.TryLock(idx, th.owner, versionOf(cur)) {
+			tx.Abort()
+		}
+		th.ctx.MetaOp()
+		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(cur)})
+		th.lockVer[idx] = versionOf(cur)
+	}
+
+	i := len(th.undo)
+	if i >= th.tm.cfg.MaxLogEntries {
+		panic(ErrLogOverflow{Entries: i + 1})
+	}
+	old := th.ctx.Load(a)
+	th.undo = append(th.undo, undoRec{addr: a, old: old})
+
+	// Durable undo record, ordered before the in-place update.
+	ea := th.entryAddr(i)
+	th.ctx.Store(ea, uint64(a))
+	th.ctx.Store(ea+1, old)
+	th.ctx.CLWB(ea)
+	th.ctx.Store(th.desc+descCountOff, uint64(i+1))
+	th.ctx.Store(th.desc+descStatusOff, statusUndoActive)
+	th.ctx.CLWB(th.desc)
+	th.fence() // the O(W) fence
+	th.tm.hook("eager:post-log", th)
+
+	// In-place speculative update.
+	th.ctx.Store(a, v)
+	th.ctx.CLWB(a)
+}
+
+// commitEager finishes an undo transaction.
+func (th *Thread) commitEager(tx *Tx) {
+	if len(th.undo) == 0 {
+		th.stats.ReadOnlyTxns++
+		return
+	}
+	// All in-place data flushes must be durable before the log is
+	// discarded.
+	th.fence()
+
+	if !th.validateReadSet() {
+		th.abortCommit()
+	}
+	th.tm.hook("eager:pre-clear", th)
+
+	th.ctx.Store(th.desc+descStatusOff, statusIdle)
+	th.ctx.CLWB(th.desc)
+	th.fence()
+
+	wv := th.tm.orecs.IncClock()
+	th.ctx.MetaOp()
+	th.releaseLocks(wv)
+	th.noteLogHighWater(len(th.undo))
+}
+
+// rollbackEager restores the in-place writes of a doomed attempt in
+// reverse order, durably, then clears the log and releases the locks.
+func (th *Thread) rollbackEager() {
+	for i := len(th.undo) - 1; i >= 0; i-- {
+		r := th.undo[i]
+		th.ctx.Store(r.addr, r.old)
+		th.ctx.CLWB(r.addr)
+	}
+	th.fence()
+	if len(th.undo) > 0 {
+		th.ctx.Store(th.desc+descStatusOff, statusIdle)
+		th.ctx.CLWB(th.desc)
+		th.fence()
+	}
+	th.releaseLocksRestoring()
+}

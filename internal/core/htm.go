@@ -1,0 +1,121 @@
+package core
+
+import (
+	"goptm/internal/memdev"
+)
+
+// This file implements AlgoHTM: a TSX-style hardware-transactional
+// mode, the paper's §V future-work question ("while Intel TSX is
+// incompatible with PTM in ADR, it might work with eADR and PDRAM").
+//
+// The model captures what makes HTM attractive there:
+//
+//   - No persistent log at all. Under eADR (and the PDRAM domains)
+//     every retired store is durable, and an HTM commit publishes all
+//     of a transaction's stores atomically — so durability comes for
+//     free at the commit instant, with zero clwb/sfence/log traffic.
+//   - No software instrumentation. Conflict detection rides the cache
+//     coherence protocol; the simulation models it with un-charged
+//     orec checks (the orec table stands in for the coherence
+//     directory).
+//   - Bounded capacity. Real TSX aborts when the write set overflows
+//     the L1; transactions beyond HTMCapacity lines abort to the
+//     software fallback (orec-lazy), as do transactions that keep
+//     conflicting.
+//
+// Under ADR the mode is rejected at construction: a clwb inside a TSX
+// transaction aborts it (§II-B), so an ADR-correct HTM PTM cannot
+// exist — exactly the paper's observation.
+
+// HTMCapacity is the maximum HTM write set in log entries (modeling
+// L1-resident speculative state).
+const HTMCapacity = 512
+
+// HTMRetries is how many HTM attempts run before falling back to the
+// software path.
+const HTMRetries = 4
+
+// htmCommitCost is the fixed virtual-ns cost of a TSX commit.
+const htmCommitCost = 25
+
+// htmCapacity is the panic value for capacity aborts; unlike conflict
+// aborts, retrying in HTM cannot help, so Atomic falls back at once.
+type htmCapacity struct{}
+
+// loadHTM reads with coherence-based conflict detection: any
+// concurrently-locked or newer line kills the transaction. There is
+// no timestamp extension — hardware transactions abort on conflict.
+func (tx *Tx) loadHTM(a memdev.Addr) uint64 {
+	th := tx.th
+	if i, ok := th.wpos[a]; ok {
+		return th.wlog[i].val
+	}
+	t := th.tm.orecs
+	idx := t.Index(a)
+	v1 := t.Load(idx)
+	if lockedWord(v1) {
+		tx.Abort()
+	}
+	val := th.ctx.Load(a)
+	v2 := t.Load(idx)
+	if v1 != v2 || versionOf(v1) > tx.rv {
+		tx.Abort()
+	}
+	th.rset = append(th.rset, readRec{idx: idx, ver: versionOf(v1)})
+	return val
+}
+
+// storeHTM buffers the write in speculative (volatile, L1-resident)
+// state; nothing persistent is written until commit.
+func (tx *Tx) storeHTM(a memdev.Addr, v uint64) {
+	th := tx.th
+	if i, ok := th.wpos[a]; ok {
+		th.wlog[i].val = v
+		return
+	}
+	i := len(th.wlog)
+	if i >= HTMCapacity || i >= th.tm.cfg.MaxLogEntries {
+		panic(htmCapacity{})
+	}
+	th.wlog = append(th.wlog, redoEntry{addr: a, val: v})
+	th.wpos[a] = i
+	th.ctx.Compute(2) // the store itself retires into the L1
+}
+
+// commitHTM atomically publishes the speculative state. Under eADR
+// the stores are durable as they land — the commit instant is the
+// durability point, with no log, marker, flush, or fence.
+func (th *Thread) commitHTM(tx *Tx) {
+	if len(th.wlog) == 0 {
+		th.stats.ReadOnlyTxns++
+		return
+	}
+	t := th.tm.orecs
+	seen := make(map[int]bool, len(th.wlog))
+	for _, e := range th.wlog {
+		idx := t.Index(e.addr)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		v := t.Load(idx)
+		if lockedWord(v) || versionOf(v) > tx.rv {
+			th.abortCommit()
+		}
+		if !t.TryLock(idx, th.owner, versionOf(v)) {
+			th.abortCommit()
+		}
+		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(v)})
+		th.lockVer[idx] = versionOf(v)
+	}
+	if !th.validateReadSet() {
+		th.abortCommit()
+	}
+	wv := t.IncClock()
+	for _, e := range th.wlog {
+		th.ctx.Store(e.addr, e.val)
+	}
+	th.ctx.Compute(htmCommitCost)
+	th.releaseLocks(wv)
+	th.noteLogHighWater(len(th.wlog))
+}

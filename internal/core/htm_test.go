@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func htmTM(t testing.TB, threads int) *TM {
+	t.Helper()
+	tm, err := New(Config{
+		Algo: AlgoHTM, Medium: MediumNVM, Domain: durability.EADR,
+		Threads: threads, HeapWords: 1 << 16, MaxLogEntries: 1024, OrecSize: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestHTMRejectedUnderADR(t *testing.T) {
+	for _, dom := range []durability.Domain{durability.NoReserve, durability.ADR} {
+		_, err := New(Config{Algo: AlgoHTM, Medium: MediumNVM, Domain: dom, Threads: 1})
+		if err == nil {
+			t.Errorf("HTM accepted under %v; clwb aborts hardware transactions", dom)
+		}
+	}
+	// And accepted under the cache-persistent domains.
+	for _, dom := range []durability.Domain{durability.EADR, durability.PDRAM, durability.PDRAMLite} {
+		if _, err := New(Config{Algo: AlgoHTM, Medium: MediumNVM, Domain: dom, Threads: 1}); err != nil {
+			t.Errorf("HTM rejected under %v: %v", dom, err)
+		}
+	}
+}
+
+func TestHTMBasicCommit(t *testing.T) {
+	tm := htmTM(t, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(8)
+		tx.Store(a, 41)
+		if tx.Load(a) != 41 {
+			t.Error("HTM read-own-write broken")
+		}
+		tx.Store(a, 42)
+	})
+	th.Atomic(func(tx *Tx) {
+		if got := tx.Load(a); got != 42 {
+			t.Fatalf("HTM committed value = %d", got)
+		}
+	})
+	if th.Stats().HTMFallbacks != 0 {
+		t.Fatal("small transaction fell back")
+	}
+}
+
+func TestHTMIsLogless(t *testing.T) {
+	tm := htmTM(t, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	f0 := th.Ctx().Stats().Flushes
+	th.Atomic(func(tx *Tx) {
+		a := tx.Alloc(8)
+		for i := 0; i < 8; i++ {
+			tx.Store(a+memdev.Addr(i), uint64(i))
+		}
+	})
+	if got := th.Ctx().Stats().Flushes - f0; got != 0 {
+		t.Fatalf("HTM issued %d flushes", got)
+	}
+	// The persistent descriptor must never leave the idle state.
+	if st := th.Ctx().Load(tm.descBase(0) + descStatusOff); st != statusIdle {
+		t.Fatalf("descriptor status = %d after HTM commit", st)
+	}
+}
+
+func TestHTMCapacityFallback(t *testing.T) {
+	tm := htmTM(t, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(HTMCapacity + 64)
+		for i := 0; i < HTMCapacity+10; i++ {
+			tx.Store(a+memdev.Addr(i), uint64(i))
+		}
+	})
+	if th.Stats().HTMFallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", th.Stats().HTMFallbacks)
+	}
+	// The fallback (software) commit must still be correct.
+	th.Atomic(func(tx *Tx) {
+		for i := 0; i < HTMCapacity+10; i++ {
+			if tx.Load(a+memdev.Addr(i)) != uint64(i) {
+				t.Fatal("fallback commit lost data")
+			}
+		}
+	})
+}
+
+func TestHTMDurableAtCommitUnderEADR(t *testing.T) {
+	tm := htmTM(t, 1)
+	th := tm.Thread(0)
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(8)
+		tx.Store(a, 1234)
+	})
+	tm.SetRoot(th, 0, a)
+	vt := th.Now()
+	th.Detach()
+	tm.Crash(vt)
+	tm2, rep, err := Reopen(tm.Bus(), tm.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RedoReplayed != 0 && rep.UndoRolledBack != 0 {
+		// HTM leaves no logs; recovery should find nothing to do.
+		t.Fatalf("recovery did log work after HTM: %+v", rep)
+	}
+	th2 := tm2.Thread(0)
+	defer th2.Detach()
+	th2.Atomic(func(tx *Tx) {
+		if got := tx.Load(tm2.Root(th2, 0)); got != 1234 {
+			t.Fatalf("HTM commit lost on crash: %d", got)
+		}
+	})
+}
+
+func TestHTMConcurrentAtomicity(t *testing.T) {
+	const threads = 4
+	const per = 300
+	tm := htmTM(t, threads)
+	setup := tm.Thread(0)
+	var ctr memdev.Addr
+	setup.Atomic(func(tx *Tx) {
+		ctr = tx.Alloc(8)
+		tx.Store(ctr, 0)
+	})
+	setup.Detach()
+	ths := make([]*Thread, threads)
+	for i := range ths {
+		ths[i] = tm.Thread(i)
+	}
+	var wg sync.WaitGroup
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for i := 0; i < per; i++ {
+				th.Atomic(func(tx *Tx) {
+					tx.Store(ctr, tx.Load(ctr)+1)
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+	check := tm.Thread(0)
+	defer check.Detach()
+	check.Atomic(func(tx *Tx) {
+		if got := tx.Load(ctr); got != threads*per {
+			t.Fatalf("counter = %d, want %d", got, threads*per)
+		}
+	})
+}
+
+func TestHTMFasterThanRedoUnderEADR(t *testing.T) {
+	// The §V hypothesis: HTM removes logging work entirely, so under
+	// eADR it should beat the software redo path on write-heavy
+	// transactions.
+	run := func(algo Algo) int64 {
+		tm, err := New(Config{
+			Algo: algo, Medium: MediumNVM, Domain: durability.EADR,
+			Threads: 1, HeapWords: 1 << 16, OrecSize: 1 << 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := tm.Thread(0)
+		defer th.Detach()
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) { a = tx.Alloc(64) })
+		t0 := th.Now()
+		for i := 0; i < 200; i++ {
+			th.Atomic(func(tx *Tx) {
+				for w := 0; w < 32; w++ {
+					tx.Store(a+memdev.Addr(w), uint64(i))
+				}
+			})
+		}
+		return th.Now() - t0
+	}
+	htm := run(AlgoHTM)
+	redo := run(OrecLazy)
+	if htm >= redo {
+		t.Fatalf("HTM (%d ns) not faster than redo (%d ns) under eADR", htm, redo)
+	}
+}

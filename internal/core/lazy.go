@@ -1,0 +1,217 @@
+package core
+
+import (
+	"goptm/internal/memdev"
+)
+
+// This file implements "orec-lazy": the redo-logging PTM with
+// commit-time locking (TL2-style), the best-performing redo algorithm
+// in the paper's PACT'19 runtime.
+//
+// Persistence protocol (ADR; stronger domains elide flush/fence):
+//
+//	execution : every Store appends (addr, value) to the per-thread
+//	            redo log in the persistent medium; the write-set
+//	            *index* used by read-after-write lookups lives in DRAM
+//	            (split-log tuning).
+//	commit    : 1. acquire orecs for the write set (CAS, abort on
+//	               conflict), validate the read set;
+//	            2. flush outstanding log lines, fence            (F1)
+//	            3. store count+status=COMMITTED, flush, fence    (F2)
+//	               -> durable commit point
+//	            4. in-place writeback, flush touched lines, fence(F3)
+//	            5. store status=IDLE, flush (log reclaimed)
+//	            6. advance clock, release orecs at the new version
+//
+// O(1) fences per transaction regardless of write-set size.
+
+// loadLazy is the TL2 read: write set first, then a version-validated
+// memory read.
+func (tx *Tx) loadLazy(a memdev.Addr) uint64 {
+	th := tx.th
+	// Read-after-write: probe the log index. Under the split-log
+	// tuning this is a DRAM-resident hash probe; the NoSplitLog
+	// ablation charges a load from the persistent log area instead.
+	if i, ok := th.wpos[a]; ok {
+		if th.tm.cfg.NoSplitLog {
+			return th.ctx.Load(th.entryAddr(i) + 1)
+		}
+		th.ctx.MetaOp()
+		return th.wlog[i].val
+	}
+	th.ctx.MetaOp() // index probe (miss)
+
+	t := th.tm.orecs
+	idx := t.Index(a)
+	for {
+		v1 := t.Load(idx)
+		th.ctx.MetaOp()
+		if lockedWord(v1) {
+			tx.Abort()
+		}
+		val := th.ctx.Load(a)
+		v2 := t.Load(idx)
+		if v1 != v2 {
+			tx.Abort()
+		}
+		if versionOf(v1) <= tx.rv {
+			th.rset = append(th.rset, readRec{idx: idx, ver: versionOf(v1)})
+			return val
+		}
+		// The location is newer than our snapshot: extend the
+		// timestamp and retry this read under the new rv. Returning
+		// the already-read value without retrying would let a write
+		// committed between the v2 check and the extension slip past
+		// commit-time validation (a lost update).
+		if !tx.extend() {
+			tx.Abort()
+		}
+	}
+}
+
+// storeLazy buffers the write in the redo log (persistent data,
+// volatile index).
+func (tx *Tx) storeLazy(a memdev.Addr, v uint64) {
+	th := tx.th
+	th.ctx.MetaOp() // index probe
+	if i, ok := th.wpos[a]; ok {
+		th.wlog[i].val = v
+		// Overwrite the persistent value word in place; if its line
+		// was already flushed, make the durable copy current again
+		// (re-flush, or a fresh non-temporal store).
+		if th.tm.cfg.NTStoreLog && th.tm.cfg.Domain.RequiresFlush() {
+			th.ctx.NTStore(th.entryAddr(i)+1, v)
+			return
+		}
+		th.ctx.Store(th.entryAddr(i)+1, v)
+		if !th.tm.cfg.BatchedFlush && i < th.flushed {
+			th.ctx.CLWB(th.entryAddr(i) + 1)
+		}
+		return
+	}
+	i := len(th.wlog)
+	if i >= th.tm.cfg.MaxLogEntries {
+		panic(ErrLogOverflow{Entries: i + 1})
+	}
+	th.wlog = append(th.wlog, redoEntry{addr: a, val: v})
+	th.wpos[a] = i
+	ea := th.entryAddr(i)
+	if th.tm.cfg.NTStoreLog && th.tm.cfg.Domain.RequiresFlush() {
+		// Non-temporal log appends: durable at WPQ accept, nothing
+		// left to flush at commit.
+		th.ctx.NTStore(ea, uint64(a))
+		th.ctx.NTStore(ea+1, v)
+		th.flushed = i + 1
+		return
+	}
+	th.ctx.Store(ea, uint64(a))
+	th.ctx.Store(ea+1, v)
+	// Incremental flushing (the default, as in the reference runtime)
+	// flushes each log line as it fills; the final partial line is
+	// flushed at commit. Flushing per *entry* would re-flush the same
+	// line repeatedly, which neither the real runtime nor the WPQ do.
+	if !th.tm.cfg.BatchedFlush && entriesPerLine(i+1) {
+		th.ctx.CLWB(ea)
+		th.flushed = i + 1
+	}
+}
+
+// entriesPerLine reports whether n redo entries end exactly on a
+// cache-line boundary (entries are two words; the log area is
+// line-aligned).
+func entriesPerLine(n int) bool {
+	return (descEntries+2*n)%memdev.WordsPerLine == 0
+}
+
+// commitLazy runs the commit protocol; it panics abortSignal on
+// conflict.
+func (th *Thread) commitLazy(tx *Tx) {
+	if len(th.wlog) == 0 {
+		// Read-only transactions commit without locking or logging;
+		// every read was validated against rv at execution time.
+		th.stats.ReadOnlyTxns++
+		return
+	}
+	t := th.tm.orecs
+
+	// 1. Acquire write-set orecs. Distinct addresses can share an
+	// orec; seen dedups so a transaction never self-conflicts.
+	seen := make(map[int]bool, len(th.wlog))
+	for _, e := range th.wlog {
+		idx := t.Index(e.addr)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		v := t.Load(idx)
+		th.ctx.MetaOp()
+		if lockedWord(v) || versionOf(v) > tx.rv {
+			th.abortCommit()
+		}
+		if !t.TryLock(idx, th.owner, versionOf(v)) {
+			th.abortCommit()
+		}
+		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(v)})
+		th.lockVer[idx] = versionOf(v)
+	}
+
+	// Validate the read set now that the write set is locked.
+	if !th.validateReadSet() {
+		th.abortCommit()
+	}
+
+	// 2. Make the redo log durable: everything not yet flushed
+	// incrementally (all of it under BatchedFlush, just the partial
+	// tail line otherwise).
+	start := th.flushed
+	if th.tm.cfg.BatchedFlush {
+		start = 0
+	}
+	for e := start; e < len(th.wlog); e += memdev.WordsPerLine / 2 {
+		th.ctx.CLWB(th.entryAddr(e))
+	}
+	th.fence() // F1: log entries before marker
+	th.tm.hook("lazy:pre-marker", th)
+
+	// 3. Durable commit point.
+	th.ctx.Store(th.desc+descCountOff, uint64(len(th.wlog)))
+	th.ctx.Store(th.desc+descStatusOff, statusRedoCommitted)
+	th.ctx.CLWB(th.desc)
+	th.fence() // F2: marker durable before writeback
+	th.tm.hook("lazy:post-marker", th)
+
+	wv := t.IncClock()
+	th.ctx.MetaOp()
+
+	// 4. Writeback.
+	for i, e := range th.wlog {
+		th.ctx.Store(e.addr, e.val)
+		if i == len(th.wlog)/2 {
+			th.tm.hook("lazy:mid-writeback", th)
+		}
+	}
+	flushed := make(map[uint64]bool, len(th.wlog))
+	for _, e := range th.wlog {
+		line := uint64(e.addr) >> memdev.LineShift
+		if !flushed[line] {
+			flushed[line] = true
+			th.ctx.CLWB(e.addr)
+		}
+	}
+	th.fence() // F3: data durable before log reclaim
+	th.tm.hook("lazy:post-writeback", th)
+
+	// 5. Reclaim the log.
+	th.ctx.Store(th.desc+descStatusOff, statusIdle)
+	th.ctx.CLWB(th.desc)
+
+	// 6. Publish.
+	th.releaseLocks(wv)
+	th.noteLogHighWater(len(th.wlog))
+}
+
+// abortCommit unwinds a failed commit; the abort path releases any
+// locks acquired so far (see onAbort).
+func (th *Thread) abortCommit() {
+	panic(abortSignal{})
+}

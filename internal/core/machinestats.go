@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"goptm/internal/cachesim"
+	"goptm/internal/pagecache"
+)
+
+// MachineStats is a cross-layer snapshot of the simulated machine,
+// for debugging and for the CLI tools' verbose output. All counters
+// are cumulative since construction.
+type MachineStats struct {
+	Commits int64
+	Aborts  int64
+
+	NVMStores  int64 // stores to NVM addresses
+	WPQAccepts int64 // line flushes accepted by the controller
+	WPQStallNS int64 // cumulative accept delay from a full queue
+
+	NVMWriteBusyNS int64 // media write-port occupancy
+	NVMReadBusyNS  int64 // media read-port occupancy
+
+	CacheHits [5]int64 // by level: index 1..3 = L1..L3, 4 = miss
+
+	PageCache pagecache.Stats // zero when the domain has no directory
+}
+
+// MachineStats gathers the snapshot.
+func (tm *TM) MachineStats() MachineStats {
+	var ms MachineStats
+	ms.Commits = tm.Commits()
+	ms.Aborts = tm.Aborts()
+	ms.NVMStores, ms.WPQAccepts = tm.bus.Device().Stats()
+	_, ms.WPQStallNS = tm.bus.Controller().Stats()
+	ms.NVMWriteBusyNS, ms.NVMReadBusyNS = tm.bus.Controller().Utilization()
+	ms.CacheHits = tm.bus.Cache().HitCounts()
+	if pc := tm.bus.PageCache(); pc != nil {
+		ms.PageCache = pc.Stats()
+	}
+	return ms
+}
+
+// HitRate reports the fraction of cache accesses served at or above
+// the L3 (i.e. not by memory).
+func (ms MachineStats) HitRate() float64 {
+	var total int64
+	for _, c := range ms.CacheHits {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(ms.CacheHits[cachesim.Miss])/float64(total)
+}
+
+// String renders a compact multi-line report.
+func (ms MachineStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txns: %d commits, %d aborts\n", ms.Commits, ms.Aborts)
+	fmt.Fprintf(&b, "nvm:  %d stores, %d flushes accepted, %.2f ms accept-stall\n",
+		ms.NVMStores, ms.WPQAccepts, float64(ms.WPQStallNS)/1e6)
+	fmt.Fprintf(&b, "media busy: write %.2f ms, read %.2f ms\n",
+		float64(ms.NVMWriteBusyNS)/1e6, float64(ms.NVMReadBusyNS)/1e6)
+	fmt.Fprintf(&b, "cache: L1 %d, L2 %d, L3 %d, miss %d (%.1f%% hit)\n",
+		ms.CacheHits[cachesim.HitL1], ms.CacheHits[cachesim.HitL2],
+		ms.CacheHits[cachesim.HitL3], ms.CacheHits[cachesim.Miss], 100*ms.HitRate())
+	if ms.PageCache.Hits+ms.PageCache.Misses > 0 {
+		fmt.Fprintf(&b, "page cache: %d hits, %d misses, %d writebacks, %d prefetches (%d used), %d async cleans\n",
+			ms.PageCache.Hits, ms.PageCache.Misses, ms.PageCache.Writebacks,
+			ms.PageCache.Prefetches, ms.PageCache.PrefetchHit, ms.PageCache.AsyncCleans)
+	}
+	return b.String()
+}

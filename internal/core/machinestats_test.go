@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func TestMachineStatsSnapshot(t *testing.T) {
+	tm := smallTM(t, OrecLazy, durability.ADR, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(16)
+		for i := 0; i < 8; i++ {
+			tx.Store(a+memdev.Addr(i), uint64(i))
+		}
+	})
+	ms := tm.MachineStats()
+	if ms.Commits != 1 {
+		t.Fatalf("commits = %d", ms.Commits)
+	}
+	if ms.NVMStores == 0 || ms.WPQAccepts == 0 {
+		t.Fatalf("no NVM traffic recorded: %+v", ms)
+	}
+	if ms.HitRate() <= 0 || ms.HitRate() > 1 {
+		t.Fatalf("hit rate = %f", ms.HitRate())
+	}
+	s := ms.String()
+	for _, want := range []string{"commits", "flushes accepted", "cache:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	// No page cache under ADR: the report must omit that section.
+	if strings.Contains(s, "page cache:") {
+		t.Fatal("ADR report mentions a page cache")
+	}
+}
+
+func TestMachineStatsPDRAMSection(t *testing.T) {
+	tm := smallTM(t, OrecLazy, durability.PDRAM, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	th.Atomic(func(tx *Tx) {
+		a := tx.Alloc(8)
+		tx.Store(a, 1)
+	})
+	ms := tm.MachineStats()
+	if ms.PageCache.Hits+ms.PageCache.Misses == 0 {
+		t.Fatal("PDRAM run recorded no page-cache traffic")
+	}
+	if !strings.Contains(ms.String(), "page cache:") {
+		t.Fatal("PDRAM report missing page-cache section")
+	}
+}
+
+func TestMachineStatsEmptyHitRate(t *testing.T) {
+	var ms MachineStats
+	if ms.HitRate() != 0 {
+		t.Fatal("empty stats hit rate not zero")
+	}
+}

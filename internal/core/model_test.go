@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+	"goptm/internal/simtime"
+)
+
+// TestRandomOpsMatchModel drives each algorithm with randomized
+// transaction scripts — reads, writes, allocations, frees, and user
+// aborts — and checks the heap against a Go-map model after every
+// transaction. Aborted transactions must leave no trace; committed
+// ones must apply completely.
+func TestRandomOpsMatchModel(t *testing.T) {
+	algos := []struct {
+		algo Algo
+		dom  durability.Domain
+	}{
+		{OrecLazy, durability.ADR},
+		{OrecEager, durability.ADR},
+		{AlgoHTM, durability.EADR},
+	}
+	for _, cfg := range algos {
+		cfg := cfg
+		t.Run(cfg.algo.String(), func(t *testing.T) {
+			f := func(seed uint64, script []uint16) bool {
+				return runScript(t, cfg.algo, cfg.dom, seed, script)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// runScript executes one randomized scenario and reports whether the
+// final state matches the model.
+func runScript(t *testing.T, algo Algo, dom durability.Domain, seed uint64, script []uint16) bool {
+	t.Helper()
+	const cells = 24
+	tm, err := New(Config{
+		Algo: algo, Medium: MediumNVM, Domain: dom,
+		Threads: 1, HeapWords: 1 << 15, MaxLogEntries: 128, OrecSize: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := tm.Thread(0)
+	defer th.Detach()
+
+	var base memdev.Addr
+	th.Atomic(func(tx *Tx) {
+		base = tx.Alloc(cells)
+		for i := 0; i < cells; i++ {
+			tx.Store(base+memdev.Addr(i), 0)
+		}
+	})
+	model := make([]uint64, cells)
+	r := simtime.NewRand(seed)
+
+	// Chop the script into transactions of 1..6 ops each.
+	pos := 0
+	for pos < len(script) {
+		n := 1 + r.Intn(6)
+		if pos+n > len(script) {
+			n = len(script) - pos
+		}
+		ops := script[pos : pos+n]
+		pos += n
+		abortAt := -1
+		if r.Intn(4) == 0 {
+			abortAt = r.Intn(n)
+		}
+		shadow := make([]uint64, cells)
+		copy(shadow, model)
+		committed := true
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(scriptAbort); !ok {
+						panic(rec)
+					}
+					committed = false
+				}
+			}()
+			th.Atomic(func(tx *Tx) {
+				for i, op := range ops {
+					cell := memdev.Addr(op % cells)
+					switch (op / cells) % 3 {
+					case 0: // write
+						v := uint64(op)*2654435761 + 1
+						tx.Store(base+cell, v)
+						shadow[cell] = v
+					case 1: // read + verify against shadow
+						if got := tx.Load(base + cell); got != shadow[cell] {
+							t.Errorf("%v: mid-txn read cell %d = %d, want %d", algo, cell, got, shadow[cell])
+						}
+					case 2: // read-modify-write
+						v := tx.Load(base+cell) + 1
+						tx.Store(base+cell, v)
+						shadow[cell] = v
+					}
+					if i == abortAt {
+						panic(scriptAbort{})
+					}
+				}
+			})
+		}()
+		if committed {
+			copy(model, shadow)
+		}
+		// Validate the durable/visible state after every transaction.
+		ok := true
+		th.Atomic(func(tx *Tx) {
+			for i := 0; i < cells; i++ {
+				if tx.Load(base+memdev.Addr(i)) != model[i] {
+					ok = false
+				}
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// scriptAbort unwinds a user abort out of Atomic (Atomic would retry
+// a tx.Abort forever, since the script would abort again).
+type scriptAbort struct{}
+
+func TestForeignPanicRollsBack(t *testing.T) {
+	// A panic inside the transaction body must propagate, but only
+	// after the attempt's locks and in-place writes are rolled back.
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) {
+			a = tx.Alloc(8)
+			tx.Store(a, 7)
+		})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%v: foreign panic swallowed", algo)
+				}
+			}()
+			th.Atomic(func(tx *Tx) {
+				tx.Store(a, 999)
+				panic("user bug")
+			})
+		}()
+		// The thread must still be usable and the value unchanged.
+		th.Atomic(func(tx *Tx) {
+			if got := tx.Load(a); got != 7 {
+				t.Fatalf("%v: value after foreign panic = %d, want 7", algo, got)
+			}
+		})
+		// And no orec lock may be left behind: a second writer
+		// (fresh thread handle after the first detaches) commits fine.
+		th.Detach()
+		th2 := tm.Thread(0)
+		th2.Atomic(func(tx *Tx) { tx.Store(a, 8) })
+		th2.Detach()
+	}
+}

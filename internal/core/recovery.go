@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"goptm/internal/alloc"
+	"goptm/internal/membus"
+	"goptm/internal/memdev"
+)
+
+// RecoveryReport summarizes what post-crash recovery did.
+type RecoveryReport struct {
+	RedoReplayed   int   // transactions whose redo logs were re-applied
+	UndoRolledBack int   // transactions whose undo logs were rolled back
+	EntriesApplied int   // total log entries written during recovery
+	BlocksSwept    int   // heap blocks reclaimed by the allocator's GC
+	DurationNS     int64 // virtual time recovery took (log pass + heap GC)
+}
+
+// Recover brings the persistent image back to a transactionally
+// consistent state after a crash:
+//
+//  1. Every thread descriptor is inspected. A redo log whose commit
+//     marker is durable is replayed (the transaction logically
+//     committed; its writeback may have been cut short). An undo log
+//     marked active is rolled back (the transaction did not commit).
+//     Both operations are idempotent, so a crash during recovery is
+//     itself recoverable.
+//  2. The allocator re-attaches and runs its conservative GC, sweeping
+//     blocks leaked by in-flight transactions.
+//
+// Recover must be called before any Thread is created on a reopened
+// TM.
+func (tm *TM) Recover() (RecoveryReport, error) {
+	var rep RecoveryReport
+	if tm.cfg.Medium != MediumNVM {
+		return rep, fmt.Errorf("core: recovery is only meaningful for an NVM-backed heap")
+	}
+	ctx := tm.bus.NewContext(0)
+	defer ctx.Detach()
+	startVT := ctx.Now()
+
+	for t := 0; t < tm.cfg.Threads; t++ {
+		d := tm.descBase(t)
+		status := ctx.Load(d + descStatusOff)
+		count := ctx.Load(d + descCountOff)
+		if count > uint64(tm.cfg.MaxLogEntries) {
+			return rep, fmt.Errorf("core: thread %d log count %d exceeds capacity %d (corrupt descriptor)", t, count, tm.cfg.MaxLogEntries)
+		}
+		switch status {
+		case statusIdle:
+			continue
+		case statusRedoCommitted:
+			rep.RedoReplayed++
+			for i := 0; i < int(count); i++ {
+				ea := d + descEntries + memdev.Addr(2*i)
+				a := memdev.Addr(ctx.Load(ea))
+				v := ctx.Load(ea + 1)
+				ctx.Store(a, v)
+				ctx.CLWB(a)
+				rep.EntriesApplied++
+			}
+			ctx.SFence()
+		case statusUndoActive:
+			rep.UndoRolledBack++
+			for i := int(count) - 1; i >= 0; i-- {
+				ea := d + descEntries + memdev.Addr(2*i)
+				a := memdev.Addr(ctx.Load(ea))
+				old := ctx.Load(ea + 1)
+				ctx.Store(a, old)
+				ctx.CLWB(a)
+				rep.EntriesApplied++
+			}
+			ctx.SFence()
+		default:
+			return rep, fmt.Errorf("core: thread %d has unknown status %d", t, status)
+		}
+		ctx.Store(d+descStatusOff, statusIdle)
+		ctx.Store(d+descCountOff, 0)
+		ctx.CLWB(d)
+		ctx.SFence()
+	}
+
+	heapBase := tm.base + memdev.Addr(metaWords(tm.cfg.Threads, tm.cfg.MaxLogEntries))
+	heap, swept, err := alloc.Attach(ctx, heapBase, tm.cfg.HeapWords, rootSlots)
+	if err != nil {
+		return rep, err
+	}
+	tm.heap = heap
+	rep.BlocksSwept = swept
+	rep.DurationNS = ctx.Now() - startVT
+	return rep, nil
+}
+
+// Reopen attaches to a crashed TM image on bus and runs recovery,
+// returning the ready-to-use runtime.
+func Reopen(bus *membus.Bus, cfg Config) (*TM, RecoveryReport, error) {
+	tm, err := Attach(bus, cfg)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	rep, err := tm.Recover()
+	if err != nil {
+		return nil, rep, err
+	}
+	return tm, rep, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func TestStressTransfers(t *testing.T) {
+	for _, algo := range []Algo{OrecLazy, OrecEager} {
+		for trial := 0; trial < 3; trial++ {
+			tm := smallTM(t, algo, durability.ADR, 5)
+			setup := tm.Thread(0)
+			var base memdev.Addr
+			setup.Atomic(func(tx *Tx) {
+				base = tx.Alloc(128)
+				for i := 0; i < 128; i++ {
+					tx.Store(base+memdev.Addr(i), 1000)
+				}
+			})
+			setup.Detach()
+			ths := make([]*Thread, 5)
+			for i := range ths {
+				ths[i] = tm.Thread(i)
+			}
+			var wg sync.WaitGroup
+			for tid := 0; tid < 4; tid++ {
+				wg.Add(1)
+				go func(th *Thread) {
+					defer wg.Done()
+					defer th.Detach()
+					r := th.Rand()
+					for i := 0; i < 2000; i++ {
+						from := memdev.Addr(r.Intn(128))
+						to := memdev.Addr(r.Intn(128))
+						amt := uint64(r.Intn(50))
+						th.Atomic(func(tx *Tx) {
+							tx.Store(base+from, tx.Load(base+from)-amt)
+							tx.Store(base+to, tx.Load(base+to)+amt)
+						})
+					}
+				}(ths[tid])
+			}
+			wg.Add(1)
+			go func(th *Thread) {
+				defer wg.Done()
+				defer th.Detach()
+				for i := 0; i < 100; i++ {
+					th.Atomic(func(tx *Tx) {
+						var s uint64
+						for a := 0; a < 128; a++ {
+							s += tx.Load(base + memdev.Addr(a))
+						}
+					})
+					th.Compute(10000)
+				}
+			}(ths[4])
+			wg.Wait()
+			check := tm.Thread(0)
+			var sum uint64
+			check.Atomic(func(tx *Tx) {
+				sum = 0
+				for a := 0; a < 128; a++ {
+					sum += tx.Load(base + memdev.Addr(a))
+				}
+			})
+			check.Detach()
+			if sum != 128000 {
+				t.Fatalf("%v trial %d: sum=%d want 128000 (drift %+d)", algo, trial, sum, int64(sum)-128000)
+			}
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func smallTM(t testing.TB, algo Algo, dom durability.Domain, threads int) *TM {
+	t.Helper()
+	tm, err := New(Config{
+		Algo:          algo,
+		Medium:        MediumNVM,
+		Domain:        dom,
+		Threads:       threads,
+		HeapWords:     1 << 16,
+		MaxLogEntries: 256,
+		OrecSize:      1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+var bothAlgos = []Algo{OrecLazy, OrecEager}
+
+func TestSingleTxReadWrite(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) {
+			a = tx.Alloc(8)
+			tx.Store(a, 41)
+			if got := tx.Load(a); got != 41 {
+				t.Errorf("%v: read-own-write = %d", algo, got)
+			}
+			tx.Store(a, 42)
+		})
+		th.Atomic(func(tx *Tx) {
+			if got := tx.Load(a); got != 42 {
+				t.Errorf("%v: committed value = %d, want 42", algo, got)
+			}
+		})
+		if tm.Commits() != 2 {
+			t.Errorf("%v: commits = %d, want 2", algo, tm.Commits())
+		}
+		th.Detach()
+	}
+}
+
+func TestReadOnlyTxn(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		th.Atomic(func(tx *Tx) {}) // empty
+		if th.Stats().ReadOnlyTxns != 1 {
+			t.Errorf("%v: read-only txns = %d", algo, th.Stats().ReadOnlyTxns)
+		}
+		th.Detach()
+	}
+}
+
+func TestUserAbortRollsBack(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) {
+			a = tx.Alloc(8)
+			tx.Store(a, 7)
+		})
+		first := true
+		th.Atomic(func(tx *Tx) {
+			if first {
+				first = false
+				tx.Store(a, 999)
+				tx.Abort()
+			}
+			// Retry: must observe the pre-abort value.
+			if got := tx.Load(a); got != 7 {
+				t.Errorf("%v: value after abort = %d, want 7", algo, got)
+			}
+		})
+		if tm.Aborts() != 1 {
+			t.Errorf("%v: aborts = %d, want 1", algo, tm.Aborts())
+		}
+		th.Detach()
+	}
+}
+
+func TestAbortFreesAllocations(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		live0 := tm.Heap().LiveBlocks()
+		first := true
+		th.Atomic(func(tx *Tx) {
+			if first {
+				first = false
+				tx.Alloc(8)
+				tx.Alloc(8)
+				tx.Abort()
+			}
+		})
+		if got := tm.Heap().LiveBlocks(); got != live0 {
+			t.Errorf("%v: live blocks %d after aborted allocs, want %d", algo, got, live0)
+		}
+		th.Detach()
+	}
+}
+
+func TestFreeDeferredToCommit(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) { a = tx.Alloc(8) })
+		live := tm.Heap().LiveBlocks()
+		first := true
+		th.Atomic(func(tx *Tx) {
+			if first {
+				first = false
+				tx.Free(a)
+				tx.Abort() // free must NOT take effect
+			}
+		})
+		if tm.Heap().LiveBlocks() != live {
+			t.Errorf("%v: aborted free took effect", algo)
+		}
+		th.Atomic(func(tx *Tx) { tx.Free(a) })
+		if tm.Heap().LiveBlocks() != live-1 {
+			t.Errorf("%v: committed free did not take effect", algo)
+		}
+		th.Detach()
+	}
+}
+
+func TestWriteAfterWriteSameAddr(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) {
+			a = tx.Alloc(8)
+			for i := uint64(0); i < 10; i++ {
+				tx.Store(a, i)
+				if tx.Load(a) != i {
+					t.Errorf("%v: WAW read-own-write broken at %d", algo, i)
+				}
+			}
+		})
+		th.Atomic(func(tx *Tx) {
+			if tx.Load(a) != 9 {
+				t.Errorf("%v: final value %d, want 9", algo, tx.Load(a))
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestLogOverflowPanics(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%v: overflow did not panic", algo)
+					return
+				}
+				if _, ok := r.(ErrLogOverflow); !ok {
+					t.Errorf("%v: panic value %T, want ErrLogOverflow", algo, r)
+				}
+			}()
+			th.Atomic(func(tx *Tx) {
+				a := tx.Alloc(1024)
+				for i := 0; i < 1000; i++ {
+					tx.Store(a+memdev.Addr(i), 1)
+				}
+			})
+		}()
+		th.Detach()
+	}
+}
+
+func TestConcurrentCounterAtomicity(t *testing.T) {
+	const threads = 4
+	const perThread = 200
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, threads)
+		// Set up one shared counter.
+		setup := tm.Thread(0)
+		var ctr memdev.Addr
+		setup.Atomic(func(tx *Tx) {
+			ctr = tx.Alloc(8)
+			tx.Store(ctr, 0)
+		})
+		setup.Detach()
+
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := tm.Thread(tid)
+				defer th.Detach()
+				for i := 0; i < perThread; i++ {
+					th.Atomic(func(tx *Tx) {
+						tx.Store(ctr, tx.Load(ctr)+1)
+					})
+				}
+			}(tid)
+		}
+		wg.Wait()
+
+		check := tm.Thread(0)
+		check.Atomic(func(tx *Tx) {
+			if got := tx.Load(ctr); got != threads*perThread {
+				t.Errorf("%v: counter = %d, want %d", algo, got, threads*perThread)
+			}
+		})
+		check.Detach()
+		if tm.Commits() < threads*perThread {
+			t.Errorf("%v: commits = %d", algo, tm.Commits())
+		}
+	}
+}
+
+func TestConcurrentTransfersConserveTotal(t *testing.T) {
+	const threads = 4
+	const accounts = 16
+	const perThread = 150
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, threads)
+		setup := tm.Thread(0)
+		var base memdev.Addr
+		setup.Atomic(func(tx *Tx) {
+			base = tx.Alloc(accounts)
+			for i := 0; i < accounts; i++ {
+				tx.Store(base+memdev.Addr(i), 1000)
+			}
+		})
+		setup.Detach()
+
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := tm.Thread(tid)
+				defer th.Detach()
+				for i := 0; i < perThread; i++ {
+					from := memdev.Addr(th.Rand().Intn(accounts))
+					to := memdev.Addr(th.Rand().Intn(accounts))
+					amt := uint64(th.Rand().Intn(50))
+					th.Atomic(func(tx *Tx) {
+						f := tx.Load(base + from)
+						tx.Store(base+from, f-amt)
+						tt := tx.Load(base + to)
+						tx.Store(base+to, tt+amt)
+					})
+				}
+			}(tid)
+		}
+		wg.Wait()
+
+		check := tm.Thread(0)
+		check.Atomic(func(tx *Tx) {
+			var sum uint64
+			for i := 0; i < accounts; i++ {
+				sum += tx.Load(base + memdev.Addr(i))
+			}
+			if sum != accounts*1000 {
+				t.Errorf("%v: total = %d, want %d (atomicity violated)", algo, sum, accounts*1000)
+			}
+		})
+		check.Detach()
+	}
+}
+
+func TestIsolationNoDirtyReads(t *testing.T) {
+	// Two cells must always be observed equal: writers set both to the
+	// same new value; readers verify.
+	const threads = 4
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, threads)
+		setup := tm.Thread(0)
+		var a memdev.Addr
+		setup.Atomic(func(tx *Tx) {
+			a = tx.Alloc(16)
+			tx.Store(a, 0)
+			tx.Store(a+8, 0) // separate cache line? same block; use +8 words
+		})
+		setup.Detach()
+
+		var wg sync.WaitGroup
+		errs := make(chan string, threads)
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := tm.Thread(tid)
+				defer th.Detach()
+				for i := 0; i < 150; i++ {
+					if tid%2 == 0 {
+						th.Atomic(func(tx *Tx) {
+							v := tx.Load(a) + 1
+							tx.Store(a, v)
+							tx.Store(a+8, v)
+						})
+					} else {
+						th.Atomic(func(tx *Tx) {
+							x := tx.Load(a)
+							y := tx.Load(a + 8)
+							if x != y {
+								errs <- "observed torn update"
+							}
+						})
+					}
+				}
+			}(tid)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Errorf("%v: %s", algo, e)
+		}
+	}
+}
+
+func TestStatsHighWater(t *testing.T) {
+	tm := smallTM(t, OrecLazy, durability.ADR, 1)
+	th := tm.Thread(0)
+	th.Atomic(func(tx *Tx) {
+		a := tx.Alloc(64)
+		for i := 0; i < 20; i++ {
+			tx.Store(a+memdev.Addr(i), 1)
+		}
+	})
+	s := th.Stats()
+	if s.MaxLogEntry != 20 {
+		t.Errorf("MaxLogEntry = %d, want 20", s.MaxLogEntry)
+	}
+	if s.MaxLogLines != 5 { // 40 words / 8 per line
+		t.Errorf("MaxLogLines = %d, want 5", s.MaxLogLines)
+	}
+	th.Detach()
+}
+
+func TestEADRElidesFlushes(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.EADR, 1)
+		th := tm.Thread(0)
+		th.Atomic(func(tx *Tx) {
+			a := tx.Alloc(8)
+			tx.Store(a, 1)
+		})
+		if s := th.Ctx().Stats(); s.Flushes != 0 || s.Fences != 0 {
+			t.Errorf("%v under eADR issued %d flushes %d fences", algo, s.Flushes, s.Fences)
+		}
+		th.Detach()
+	}
+}
+
+func TestADRIssuesFlushesAndFences(t *testing.T) {
+	counts := map[Algo]struct{ flushes, fences int64 }{}
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 1)
+		th := tm.Thread(0)
+		th.Atomic(func(tx *Tx) {
+			a := tx.Alloc(32)
+			for i := 0; i < 16; i++ {
+				tx.Store(a+memdev.Addr(i), 1)
+			}
+		})
+		s := th.Ctx().Stats()
+		if s.Flushes == 0 || s.Fences == 0 {
+			t.Errorf("%v under ADR issued no flushes/fences", algo)
+		}
+		counts[algo] = struct{ flushes, fences int64 }{s.Flushes, s.Fences}
+		th.Detach()
+	}
+	// The paper's O(W) vs O(1) distinction: undo fences scale with
+	// writes, redo fences do not.
+	if counts[OrecEager].fences <= counts[OrecLazy].fences {
+		t.Errorf("undo fences (%d) not greater than redo fences (%d)",
+			counts[OrecEager].fences, counts[OrecLazy].fences)
+	}
+}
+
+func TestNoFenceElidesOnlyFences(t *testing.T) {
+	tm, err := New(Config{
+		Algo: OrecEager, Medium: MediumNVM, Domain: durability.ADR,
+		Threads: 1, HeapWords: 1 << 14, MaxLogEntries: 64, OrecSize: 1 << 10,
+		NoFence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := tm.Thread(0)
+	th.Atomic(func(tx *Tx) {
+		a := tx.Alloc(8)
+		tx.Store(a, 1)
+	})
+	s := th.Ctx().Stats()
+	if s.Fences != 0 {
+		t.Errorf("NoFence issued %d fences", s.Fences)
+	}
+	if s.Flushes == 0 {
+		t.Error("NoFence should keep clwb instructions")
+	}
+	th.Detach()
+}
+
+func TestBatchedFlushEquivalentResult(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		tm, err := New(Config{
+			Algo: OrecLazy, Medium: MediumNVM, Domain: durability.ADR,
+			Threads: 1, HeapWords: 1 << 14, MaxLogEntries: 64, OrecSize: 1 << 10,
+			BatchedFlush: batched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := tm.Thread(0)
+		var a memdev.Addr
+		th.Atomic(func(tx *Tx) {
+			a = tx.Alloc(16)
+			for i := 0; i < 8; i++ {
+				tx.Store(a+memdev.Addr(i), uint64(i)*3)
+			}
+		})
+		th.Atomic(func(tx *Tx) {
+			for i := 0; i < 8; i++ {
+				if tx.Load(a+memdev.Addr(i)) != uint64(i)*3 {
+					t.Errorf("batched=%v: wrong value at %d", batched, i)
+				}
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestMediumDRAM(t *testing.T) {
+	tm, err := New(Config{
+		Algo: OrecLazy, Medium: MediumDRAM, Domain: durability.ADR,
+		Threads: 1, HeapWords: 1 << 14, MaxLogEntries: 64, OrecSize: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := tm.Thread(0)
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) {
+		a = tx.Alloc(8)
+		tx.Store(a, 5)
+	})
+	if a < memdev.DRAMBase {
+		t.Errorf("DRAM-medium heap allocated NVM address %#x", uint64(a))
+	}
+	th.Atomic(func(tx *Tx) {
+		if tx.Load(a) != 5 {
+			t.Error("DRAM medium lost value")
+		}
+	})
+	th.Detach()
+}
+
+func TestThreadTIDValidation(t *testing.T) {
+	tm := smallTM(t, OrecLazy, durability.ADR, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range tid accepted")
+		}
+	}()
+	tm.Thread(2)
+}

@@ -1,0 +1,103 @@
+// Package durability defines the durability domains studied in the
+// paper: which parts of the memory system survive a power failure, and
+// consequently which persistence instructions (clwb / sfence) a PTM
+// algorithm must issue.
+//
+// The domains form a spectrum of reserve power:
+//
+//	NoReserve  — only the NVM DIMMs are durable (deprecated; a store is
+//	             durable only once the media has written it).
+//	ADR        — the memory controller's write-pending queues (WPQ) are
+//	             flushed on power failure; a clwb that has been accepted
+//	             by the WPQ is durable. Programs must issue clwb+sfence.
+//	EADR       — caches are flushed on power failure; a store is durable
+//	             as soon as it executes. clwb/sfence are unnecessary.
+//	PDRAM      — proposed: all of DRAM acts as a persistent, directory-
+//	             managed cache of NVM pages (Memory-Mode mechanics plus
+//	             battery). Durable like eADR, with DRAM-speed accesses
+//	             while the working set fits in DRAM.
+//	PDRAMLite  — proposed: a bounded set of DRAM pages (the redo logs)
+//	             is persistent; all other NVM data behaves as in eADR.
+package durability
+
+import "fmt"
+
+// Domain identifies a durability domain.
+type Domain int
+
+// The durability domains, ordered by increasing reserve power.
+const (
+	NoReserve Domain = iota
+	ADR
+	EADR
+	PDRAM
+	PDRAMLite
+)
+
+// String returns the conventional name of the domain.
+func (d Domain) String() string {
+	switch d {
+	case NoReserve:
+		return "NoReserve"
+	case ADR:
+		return "ADR"
+	case EADR:
+		return "eADR"
+	case PDRAM:
+		return "PDRAM"
+	case PDRAMLite:
+		return "PDRAM-Lite"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// All lists every supported domain, for table-driven tests and sweeps.
+func All() []Domain {
+	return []Domain{NoReserve, ADR, EADR, PDRAM, PDRAMLite}
+}
+
+// Valid reports whether d is a defined domain.
+func (d Domain) Valid() bool {
+	return d >= NoReserve && d <= PDRAMLite
+}
+
+// RequiresFlush reports whether software must issue clwb instructions
+// for stores to become durable in this domain. In eADR and the PDRAM
+// variants the reserve power flushes caches on failure, so explicit
+// flushes are elided.
+func (d Domain) RequiresFlush() bool {
+	return d == NoReserve || d == ADR
+}
+
+// RequiresFence reports whether software must issue sfence to order
+// durability points. Tracks RequiresFlush: fences order flushes, so
+// eliding flushes elides fences.
+func (d Domain) RequiresFence() bool {
+	return d.RequiresFlush()
+}
+
+// CachePersists reports whether dirty lines still in the CPU caches
+// survive a power failure.
+func (d Domain) CachePersists() bool {
+	return d == EADR || d == PDRAM || d == PDRAMLite
+}
+
+// WPQPersists reports whether lines accepted into the memory
+// controller's write-pending queue survive a power failure.
+func (d Domain) WPQPersists() bool {
+	return d != NoReserve
+}
+
+// DRAMCachesNVM reports whether the domain routes NVM accesses through
+// a directory-managed DRAM page cache (Memory-Mode mechanics).
+func (d Domain) DRAMCachesNVM() bool {
+	return d == PDRAM
+}
+
+// DRAMLogPersists reports whether DRAM pages holding transaction redo
+// logs survive a power failure (the PDRAM-Lite design point; PDRAM
+// trivially includes it because all DRAM-cached NVM pages persist).
+func (d Domain) DRAMLogPersists() bool {
+	return d == PDRAM || d == PDRAMLite
+}

@@ -1,0 +1,103 @@
+package durability
+
+import "testing"
+
+func TestStringNames(t *testing.T) {
+	want := map[Domain]string{
+		NoReserve: "NoReserve",
+		ADR:       "ADR",
+		EADR:      "eADR",
+		PDRAM:     "PDRAM",
+		PDRAMLite: "PDRAM-Lite",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+	if Domain(99).String() != "Domain(99)" {
+		t.Errorf("unknown domain String = %q", Domain(99).String())
+	}
+}
+
+func TestAllCoversEveryDomain(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() has %d entries, want 5", len(all))
+	}
+	seen := map[Domain]bool{}
+	for _, d := range all {
+		if !d.Valid() {
+			t.Errorf("All() contains invalid domain %v", d)
+		}
+		if seen[d] {
+			t.Errorf("All() contains duplicate %v", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestFlushFenceRules(t *testing.T) {
+	// The paper's central software distinction: ADR (and the deprecated
+	// NoReserve) need explicit flushes and fences; eADR and the PDRAM
+	// variants elide them.
+	for _, d := range []Domain{NoReserve, ADR} {
+		if !d.RequiresFlush() || !d.RequiresFence() {
+			t.Errorf("%v must require flush+fence", d)
+		}
+	}
+	for _, d := range []Domain{EADR, PDRAM, PDRAMLite} {
+		if d.RequiresFlush() || d.RequiresFence() {
+			t.Errorf("%v must elide flush+fence", d)
+		}
+	}
+}
+
+func TestCrashPersistenceRules(t *testing.T) {
+	if NoReserve.WPQPersists() {
+		t.Error("NoReserve must lose the WPQ")
+	}
+	for _, d := range []Domain{ADR, EADR, PDRAM, PDRAMLite} {
+		if !d.WPQPersists() {
+			t.Errorf("%v must keep the WPQ", d)
+		}
+	}
+	if ADR.CachePersists() || NoReserve.CachePersists() {
+		t.Error("ADR/NoReserve must lose dirty cache lines")
+	}
+	for _, d := range []Domain{EADR, PDRAM, PDRAMLite} {
+		if !d.CachePersists() {
+			t.Errorf("%v must flush caches on failure", d)
+		}
+	}
+}
+
+func TestDRAMCachingRules(t *testing.T) {
+	if !PDRAM.DRAMCachesNVM() {
+		t.Error("PDRAM must route NVM through the DRAM page cache")
+	}
+	for _, d := range []Domain{NoReserve, ADR, EADR, PDRAMLite} {
+		if d.DRAMCachesNVM() {
+			t.Errorf("%v must not route all NVM through DRAM", d)
+		}
+	}
+	if !PDRAM.DRAMLogPersists() || !PDRAMLite.DRAMLogPersists() {
+		t.Error("PDRAM and PDRAM-Lite must persist DRAM-resident logs")
+	}
+	for _, d := range []Domain{NoReserve, ADR, EADR} {
+		if d.DRAMLogPersists() {
+			t.Errorf("%v must not persist DRAM-resident logs", d)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, d := range All() {
+		if !d.Valid() {
+			t.Errorf("%v should be valid", d)
+		}
+	}
+	if Domain(-1).Valid() || Domain(5).Valid() {
+		t.Error("out-of-range domains must be invalid")
+	}
+}

@@ -1,0 +1,186 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/membus"
+	"goptm/internal/memdev"
+)
+
+func busWith(t *testing.T, dom durability.Domain) *membus.Bus {
+	t.Helper()
+	b, err := membus.New(membus.Config{
+		Threads: 1,
+		Domain:  dom,
+		Dev:     memdev.Config{NVMWords: 1 << 14, DRAMWords: 1 << 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClassifyTiers(t *testing.T) {
+	cases := []struct {
+		j    float64
+		want string
+	}{
+		{0.001, "PSU capacitance (ADR-class)"},
+		{1, "on-board capacitors (eADR-class)"},
+		{100, "supercapacitor bank"},
+		{10_000, "lithium-ion battery (PDRAM-class)"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.j); got != c.want {
+			t.Errorf("Classify(%g) = %q, want %q", c.j, got, c.want)
+		}
+	}
+}
+
+func TestEstimateCleanMachine(t *testing.T) {
+	b := busWith(t, durability.ADR)
+	r := Estimate(b, 0, DefaultPlatform())
+	if r.WPQLines != 0 || r.DirtyLines != 0 || r.DirtyPages != 0 {
+		t.Fatalf("clean machine has outstanding state: %+v", r)
+	}
+	// Only the fixed shutdown window remains.
+	if r.FlushNS != DefaultPlatform().ShutdownFixNS {
+		t.Fatalf("flush = %f, want fixed cost only", r.FlushNS)
+	}
+}
+
+func TestADRCountsOnlyWPQ(t *testing.T) {
+	b := busWith(t, durability.ADR)
+	ctx := b.NewContext(0)
+	defer ctx.Detach()
+	// Two dirty lines; one flushed into the WPQ.
+	ctx.Store(0, 1)
+	ctx.Store(64, 2)
+	ctx.CLWB(0)
+	r := Estimate(b, 0, DefaultPlatform())
+	if r.WPQLines != 1 {
+		t.Fatalf("WPQ lines = %d, want 1", r.WPQLines)
+	}
+	if r.DirtyLines != 0 {
+		t.Fatalf("ADR must not count dirty cache lines, got %d", r.DirtyLines)
+	}
+}
+
+func TestEADRCountsDirtyCache(t *testing.T) {
+	b := busWith(t, durability.EADR)
+	ctx := b.NewContext(0)
+	defer ctx.Detach()
+	for i := 0; i < 10; i++ {
+		ctx.Store(memdev.Addr(i*memdev.WordsPerLine), uint64(i))
+	}
+	r := Estimate(b, 0, DefaultPlatform())
+	if r.DirtyLines != 10 {
+		t.Fatalf("dirty lines = %d, want 10", r.DirtyLines)
+	}
+	if r.Joules <= 0 {
+		t.Fatal("no reserve energy computed")
+	}
+}
+
+func TestPDRAMCountsDirtyPagesAndDRAMPower(t *testing.T) {
+	b := busWith(t, durability.PDRAM)
+	ctx := b.NewContext(0)
+	defer ctx.Detach()
+	// Touch several pages with stores: routed through the page cache.
+	for pg := 0; pg < 5; pg++ {
+		ctx.Store(memdev.Addr(pg*512), 1)
+	}
+	r := Estimate(b, 0, DefaultPlatform())
+	if r.DirtyPages != 5 {
+		t.Fatalf("dirty pages = %d, want 5", r.DirtyPages)
+	}
+	// The same state without pages must cost less (DRAM refresh power).
+	b2 := busWith(t, durability.EADR)
+	ctx2 := b2.NewContext(0)
+	defer ctx2.Detach()
+	for pg := 0; pg < 5; pg++ {
+		ctx2.Store(memdev.Addr(pg*512), 1)
+	}
+	r2 := Estimate(b2, 0, DefaultPlatform())
+	if r.Joules <= r2.Joules {
+		t.Fatalf("PDRAM reserve (%g J) not above eADR reserve (%g J)", r.Joules, r2.Joules)
+	}
+}
+
+func TestOrderingAcrossDomains(t *testing.T) {
+	// With identical traffic, reserve energy must be monotone:
+	// ADR <= eADR <= PDRAM.
+	var joules []float64
+	for _, dom := range []durability.Domain{durability.ADR, durability.EADR, durability.PDRAM} {
+		b := busWith(t, dom)
+		ctx := b.NewContext(0)
+		for i := 0; i < 64; i++ {
+			a := memdev.Addr(i * memdev.WordsPerLine)
+			ctx.Store(a, uint64(i))
+			ctx.CLWB(a) // no-op beyond ADR
+		}
+		ctx.Detach()
+		joules = append(joules, Estimate(b, 0, DefaultPlatform()).Joules)
+	}
+	if !(joules[0] <= joules[1] && joules[1] <= joules[2]) {
+		t.Fatalf("reserve energy not monotone across domains: %v", joules)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	b := busWith(t, durability.EADR)
+	r := Estimate(b, 0, DefaultPlatform())
+	s := r.String()
+	if !strings.Contains(s, "eADR") || !strings.Contains(s, "reserve=") {
+		t.Fatalf("report string malformed: %q", s)
+	}
+}
+
+func TestDirtyCacheLinesCounter(t *testing.T) {
+	b := busWith(t, durability.EADR)
+	dev := b.Device()
+	dev.Store(0, 1)
+	dev.Store(3, 1) // same line
+	dev.Store(64, 1)
+	if n := DirtyCacheLines(dev); n != 2 {
+		t.Fatalf("dirty lines = %d, want 2", n)
+	}
+}
+
+func TestWorstCaseBounds(t *testing.T) {
+	for _, dom := range []durability.Domain{durability.ADR, durability.EADR, durability.PDRAM} {
+		b := busWith(t, dom)
+		m := Estimate(b, 0, DefaultPlatform())
+		w := WorstCase(b, DefaultPlatform())
+		if w.Joules < m.Joules {
+			t.Fatalf("%v: worst case (%g J) below measured (%g J)", dom, w.Joules, m.Joules)
+		}
+		if w.WPQLines != b.Controller().Config().Depth {
+			t.Fatalf("%v: worst-case WPQ = %d, want full depth", dom, w.WPQLines)
+		}
+	}
+	// Worst cases are monotone across domains too.
+	var prev float64
+	for _, dom := range []durability.Domain{durability.ADR, durability.EADR, durability.PDRAM} {
+		w := WorstCase(busWith(t, dom), DefaultPlatform())
+		if w.Joules < prev {
+			t.Fatalf("worst case not monotone at %v", dom)
+		}
+		prev = w.Joules
+	}
+}
+
+func TestWorstCasePDRAMLiteBoundedByRoutedPages(t *testing.T) {
+	b := busWith(t, durability.PDRAMLite)
+	b.RoutePages(0, 512*3) // 3 log pages
+	w := WorstCase(b, DefaultPlatform())
+	if w.DirtyPages != 3 {
+		t.Fatalf("PDRAM-Lite worst-case pages = %d, want the 3 routed pages", w.DirtyPages)
+	}
+	full := WorstCase(busWith(t, durability.PDRAM), DefaultPlatform())
+	if w.Joules >= full.Joules {
+		t.Fatal("PDRAM-Lite worst case not below full PDRAM")
+	}
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/workload/tatp"
+)
+
+func quickRun(t *testing.T, c Cell, threads int) Result {
+	t.Helper()
+	rc := RunConfig{Threads: threads, WarmupNS: 200_000, MeasureNS: 1_000_000}
+	w := tatp.New(tatp.Config{Subscribers: 2048})
+	res, err := Run(c, rc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	res := quickRun(t, Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy}, 2)
+	if res.Commits <= 0 {
+		t.Fatalf("no commits: %+v", res)
+	}
+	if res.ThroughputOps <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	if res.Workload != "TATP" || res.Threads != 2 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+}
+
+func TestCellLabels(t *testing.T) {
+	c := Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy}
+	if c.Label() != "Optane_ADR_R" {
+		t.Fatalf("label = %q", c.Label())
+	}
+	c = Cell{Medium: core.MediumDRAM, Domain: durability.EADR, Algo: core.OrecEager}
+	if c.Label() != "DRAM_eADR_U" {
+		t.Fatalf("label = %q", c.Label())
+	}
+	c.NoFence = true
+	if c.Label() != "DRAM_eADR_U_nofence" {
+		t.Fatalf("label = %q", c.Label())
+	}
+}
+
+func TestEADRFasterThanADR(t *testing.T) {
+	// The paper's headline: eliding flush/fence speeds up every
+	// workload. Even a quick run must show eADR ahead of ADR.
+	adr := quickRun(t, Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy}, 2)
+	eadr := quickRun(t, Cell{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecLazy}, 2)
+	if eadr.ThroughputOps <= adr.ThroughputOps {
+		t.Fatalf("eADR (%.0f ops/s) not faster than ADR (%.0f ops/s)",
+			eadr.ThroughputOps, adr.ThroughputOps)
+	}
+}
+
+func TestDRAMFasterThanOptane(t *testing.T) {
+	nvm := quickRun(t, Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy}, 2)
+	dram := quickRun(t, Cell{Medium: core.MediumDRAM, Domain: durability.ADR, Algo: core.OrecLazy}, 2)
+	if dram.ThroughputOps <= nvm.ThroughputOps {
+		t.Fatalf("DRAM (%.0f) not faster than Optane (%.0f)",
+			dram.ThroughputOps, nvm.ThroughputOps)
+	}
+}
+
+func TestMoreThreadsMoreThroughputLow(t *testing.T) {
+	// At low thread counts (1 -> 4) throughput should scale for the
+	// lightly-contended TATP workload.
+	one := quickRun(t, Cell{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecLazy}, 1)
+	four := quickRun(t, Cell{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecLazy}, 4)
+	if four.ThroughputOps <= one.ThroughputOps {
+		t.Fatalf("4 threads (%.0f) not faster than 1 (%.0f)",
+			four.ThroughputOps, one.ThroughputOps)
+	}
+}

@@ -1,0 +1,239 @@
+// Package membus ties the simulated memory system together: it is the
+// interface the PTM runtime programs against, the equivalent of the
+// load/store/clwb/sfence instructions on a real machine.
+//
+// Every operation is charged virtual time on the calling thread's
+// clock:
+//
+//	Load   — probes the cache hierarchy; misses are serviced by the
+//	         DRAM channel, the NVM media, or (when the address routes
+//	         through the Memory-Mode page cache) a DRAM frame or a
+//	         page fault.
+//	Store  — write-allocate; dirty L3 evictions generate writebacks
+//	         that feed the WPQ (this is how eADR workloads still
+//	         pressure the Optane media even without explicit flushes).
+//	CLWB   — under ADR/NoReserve, cleans the line and enqueues it into
+//	         the WPQ, stalling on queue backpressure; elided (no time,
+//	         no effect) under eADR/PDRAM/PDRAM-Lite.
+//	SFence — waits until every clwb issued since the previous fence
+//	         has been accepted into the durability domain; elided when
+//	         the domain does not require fences.
+//
+// The package also owns the crash entry point: Crash applies the
+// durability domain's policy to produce the post-failure image.
+package membus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"goptm/internal/cachesim"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+	"goptm/internal/pagecache"
+	"goptm/internal/simtime"
+	"goptm/internal/wpq"
+)
+
+// Latency gathers the fixed per-operation costs in virtual ns. Media
+// port occupancy comes on top from the wpq controller.
+type Latency struct {
+	L1Hit        int64
+	L2Hit        int64
+	L3Hit        int64
+	DRAMBase     int64 // uncore cost added to a DRAM-serviced miss
+	NVMBase      int64 // uncore cost added to an NVM-serviced miss
+	StoreHit     int64 // store completing in the store buffer / L1
+	CLWBDram     int64 // thread-visible clwb latency, DRAM-backed line
+	CLWBNvm      int64 // thread-visible clwb latency, NVM-backed line
+	SFenceBase   int64
+	MetaOp       int64 // one STM metadata operation (orec CAS, clock read)
+	PageDirProbe int64 // Memory-Mode directory lookup
+}
+
+// DefaultLatency is calibrated from the paper (§III-A: clwb 86/94 ns;
+// load latency 3× DRAM on L3 miss) and Izraelevitz et al. [46].
+func DefaultLatency() Latency {
+	return Latency{
+		L1Hit:        2,
+		L2Hit:        8,
+		L3Hit:        30,
+		DRAMBase:     46,
+		NVMBase:      100,
+		StoreHit:     2,
+		CLWBDram:     86,
+		CLWBNvm:      94,
+		SFenceBase:   50,
+		MetaOp:       8,
+		PageDirProbe: 10,
+	}
+}
+
+// Config assembles a Bus.
+type Config struct {
+	Threads    int
+	Domain     durability.Domain
+	Dev        memdev.Config
+	Ctl        wpq.Config // zero value: wpq.DefaultConfig(Threads)
+	L3Lines    int        // shared L3 size; 0 selects 16K lines (1 MB)
+	PageFrames int        // DRAM page-cache frames (PDRAM/PDRAM-Lite); 0 selects 1024
+	WindowNS   int64      // barrier window; 0 selects simtime.DefaultWindow
+	Lat        Latency    // zero value selects DefaultLatency
+	// NoPrefetch / NoAsyncWriteback disable the Memory-Mode controller
+	// optimizations (II-A) for ablation.
+	NoPrefetch       bool
+	NoAsyncWriteback bool
+}
+
+// Bus is the assembled memory system.
+type Bus struct {
+	cfg    Config
+	lat    Latency
+	dev    *memdev.Device
+	cache  *cachesim.Hierarchy
+	ctl    *wpq.Controller
+	pcache *pagecache.Cache
+	engine *simtime.Engine
+	domain durability.Domain
+
+	routeMu sync.RWMutex
+	routed  []pageRange // sorted, disjoint; used by PDRAM-Lite
+}
+
+type pageRange struct{ lo, hi uint64 } // [lo, hi) page numbers
+
+// New assembles the memory system.
+func New(cfg Config) (*Bus, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("membus: Threads must be positive, got %d", cfg.Threads)
+	}
+	if !cfg.Domain.Valid() {
+		return nil, fmt.Errorf("membus: invalid durability domain %d", int(cfg.Domain))
+	}
+	dev, err := memdev.New(cfg.Dev)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ctl.Depth == 0 {
+		cfg.Ctl = wpq.DefaultConfig(cfg.Threads)
+	}
+	cfg.Ctl.Threads = cfg.Threads
+	if cfg.L3Lines == 0 {
+		cfg.L3Lines = 16 * 1024
+	}
+	if cfg.PageFrames == 0 {
+		cfg.PageFrames = 1024
+	}
+	if (cfg.Lat == Latency{}) {
+		cfg.Lat = DefaultLatency()
+	}
+	b := &Bus{
+		cfg:    cfg,
+		lat:    cfg.Lat,
+		dev:    dev,
+		cache:  cachesim.New(cachesim.DefaultConfig(cfg.Threads, cfg.L3Lines)),
+		ctl:    wpq.New(cfg.Ctl),
+		engine: simtime.NewEngine(cfg.WindowNS),
+		domain: cfg.Domain,
+	}
+	if cfg.Domain.DRAMCachesNVM() || cfg.Domain == durability.PDRAMLite {
+		b.pcache = pagecache.New(pagecache.Config{
+			Frames:           cfg.PageFrames,
+			NoPrefetch:       cfg.NoPrefetch,
+			NoAsyncWriteback: cfg.NoAsyncWriteback,
+		}, b.ctl)
+	}
+	return b, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Bus {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Device exposes the underlying device (for recovery and tests).
+func (b *Bus) Device() *memdev.Device { return b.dev }
+
+// Controller exposes the memory controller (for stats).
+func (b *Bus) Controller() *wpq.Controller { return b.ctl }
+
+// PageCache exposes the Memory-Mode page cache, or nil if the domain
+// does not use one.
+func (b *Bus) PageCache() *pagecache.Cache { return b.pcache }
+
+// Cache exposes the CPU cache hierarchy (for stats).
+func (b *Bus) Cache() *cachesim.Hierarchy { return b.cache }
+
+// Domain reports the configured durability domain.
+func (b *Bus) Domain() durability.Domain { return b.domain }
+
+// Engine exposes the virtual-time engine.
+func (b *Bus) Engine() *simtime.Engine { return b.engine }
+
+// RoutePages declares that the page range containing words
+// [addr, addr+words) routes through the DRAM page cache. Used under
+// PDRAM-Lite to place transaction logs in persistent DRAM. No-op for
+// other domains (PDRAM routes every NVM page implicitly).
+func (b *Bus) RoutePages(addr memdev.Addr, words uint64) {
+	if b.domain != durability.PDRAMLite {
+		return
+	}
+	lo := pagecache.PageOf(uint64(addr))
+	hi := pagecache.PageOf(uint64(addr)+words-1) + 1
+	b.routeMu.Lock()
+	b.routed = append(b.routed, pageRange{lo, hi})
+	sort.Slice(b.routed, func(i, j int) bool { return b.routed[i].lo < b.routed[j].lo })
+	b.routeMu.Unlock()
+}
+
+// RoutedPageCount reports how many NVM pages are registered to route
+// through the page cache (PDRAM-Lite's bounded directory; 0 for other
+// domains, whose routing is implicit).
+func (b *Bus) RoutedPageCount() int {
+	b.routeMu.RLock()
+	defer b.routeMu.RUnlock()
+	n := uint64(0)
+	for _, r := range b.routed {
+		n += r.hi - r.lo
+	}
+	return int(n)
+}
+
+// routedNVM reports whether NVM word address a goes through the page
+// cache under the current domain.
+func (b *Bus) routedNVM(a memdev.Addr) bool {
+	switch {
+	case b.domain == durability.PDRAM:
+		return true
+	case b.domain == durability.PDRAMLite:
+		p := pagecache.PageOf(uint64(a))
+		b.routeMu.RLock()
+		defer b.routeMu.RUnlock()
+		i := sort.Search(len(b.routed), func(i int) bool { return b.routed[i].hi > p })
+		return i < len(b.routed) && b.routed[i].lo <= p
+	default:
+		return false
+	}
+}
+
+// Crash simulates a power failure at the maximum virtual time observed
+// so far and applies the domain's persistence policy. The page cache,
+// being DRAM, is dropped — but under the PDRAM domains its dirty pages
+// are durable by construction (the domain's CachePersists handles the
+// volatile image, since the simulated store is write-through; see the
+// pagecache package doc).
+func (b *Bus) Crash(vt int64) {
+	if b.pcache != nil {
+		b.pcache.Drop()
+	}
+	b.dev.Crash(vt, b.domain)
+}
+
+// Quiesce cleanly drains all pending persistence traffic (orderly
+// shutdown).
+func (b *Bus) Quiesce() { b.dev.Quiesce() }

@@ -1,0 +1,176 @@
+package membus
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+// These tests validate the simulator against the microbenchmark
+// characteristics the calibration is built on (Izraelevitz et al.
+// [46], cited throughout the paper): NVM read bandwidth keeps scaling
+// to ~17 concurrent readers, NVM write bandwidth saturates with ~4
+// writers, and sequential (regular) write patterns run far closer to
+// DRAM speed than random ones.
+
+// aggregateOps drives `threads` contexts with op for a fixed virtual
+// window and returns total completed operations.
+func aggregateOps(t *testing.T, dom durability.Domain, threads int, nvmWords uint64,
+	op func(c *Context, tid, i int)) int64 {
+	t.Helper()
+	bus, err := New(Config{
+		Threads: threads,
+		Domain:  dom,
+		Dev:     memdev.Config{NVMWords: nvmWords, DRAMWords: 1 << 12},
+		L3Lines: 1024, // tiny L3 so accesses reach the media
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := make([]*Context, threads)
+	for i := range ctxs {
+		ctxs[i] = bus.NewContext(i)
+	}
+	const window = 400_000 // 0.4 ms virtual
+	counts := make([]int64, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			c := ctxs[tid]
+			defer c.Detach()
+			for i := 0; c.Now() < window; i++ {
+				op(c, tid, i)
+				counts[tid]++
+			}
+		}(tid)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+func TestNVMReadBandwidthScalesPastWrites(t *testing.T) {
+	// Random reads over a large range: every access misses to the
+	// media. Read throughput at 16 threads should be much more than
+	// 2x the 4-thread value (reads have 17 ports).
+	read := func(c *Context, tid, i int) {
+		// Pseudo-random stride, distinct per thread.
+		a := memdev.Addr((uint64(tid*7919+i)*2654435761 + 7) % (1 << 18))
+		c.Load(a &^ 7)
+	}
+	r4 := aggregateOps(t, durability.EADR, 4, 1<<18, read)
+	r16 := aggregateOps(t, durability.EADR, 16, 1<<18, read)
+	if float64(r16) < 2.4*float64(r4) {
+		t.Fatalf("read bandwidth knee too early: 4T=%d 16T=%d", r4, r16)
+	}
+}
+
+func TestNVMWriteBandwidthSaturatesEarly(t *testing.T) {
+	// Random flushed writes saturate the 4-port media: going from 8 to
+	// 32 threads must gain far less than the 4x more offered load
+	// (while reads at the same step keep scaling — previous test).
+	write := func(c *Context, tid, i int) {
+		a := memdev.Addr((uint64(tid*104729+i)*2654435761 + 3) % (1 << 18))
+		a &^= 7
+		c.Store(a, uint64(i))
+		c.CLWB(a)
+		c.SFence()
+	}
+	w8 := aggregateOps(t, durability.ADR, 8, 1<<18, write)
+	w32 := aggregateOps(t, durability.ADR, 32, 1<<18, write)
+	if float64(w32) > 1.8*float64(w8) {
+		t.Fatalf("write bandwidth did not saturate: 8T=%d 32T=%d", w8, w32)
+	}
+}
+
+func TestSequentialWritesFasterThanRandom(t *testing.T) {
+	// Regular access patterns run near DRAM speed on Optane ([46],
+	// §IV-D) thanks to write combining. Under saturation (32 writers,
+	// stores L1-resident so the drain rate is the limiter), flushing
+	// sequential lines must clearly outpace flushing the same lines in
+	// scattered order.
+	const lines = 64
+	seqOp := func(c *Context, tid, i int) {
+		ln := uint64(i % lines)
+		a := memdev.Addr((uint64(tid)<<12 + ln*memdev.WordsPerLine))
+		c.Store(a, uint64(i))
+		c.CLWB(a)
+		c.SFence()
+	}
+	perm := make([]uint64, lines)
+	for i := range perm {
+		perm[i] = uint64((i * 29) % lines) // fixed scatter, no +1 runs
+	}
+	rndOp := func(c *Context, tid, i int) {
+		ln := perm[i%lines]
+		a := memdev.Addr((uint64(tid)<<12 + ln*memdev.WordsPerLine))
+		c.Store(a, uint64(i))
+		c.CLWB(a)
+		c.SFence()
+	}
+	seq := aggregateOps(t, durability.ADR, 32, 1<<18, seqOp)
+	rnd := aggregateOps(t, durability.ADR, 32, 1<<18, rndOp)
+	if float64(seq) < 1.5*float64(rnd) {
+		t.Fatalf("sequential writes (%d) not clearly faster than random (%d)", seq, rnd)
+	}
+}
+
+func TestLoadLatencyRatioMatchesCalibration(t *testing.T) {
+	// Single-thread cold-miss latency: NVM should be ~3x DRAM (the
+	// paper's §III-B: "roughly 3x higher for Optane than DRAM").
+	bus := MustNew(Config{
+		Threads: 1,
+		Domain:  durability.ADR,
+		Dev:     memdev.Config{NVMWords: 1 << 16, DRAMWords: 1 << 16},
+	})
+	c := bus.NewContext(0)
+	defer c.Detach()
+	const n = 64
+	t0 := c.Now()
+	for i := 0; i < n; i++ {
+		c.Load(memdev.Addr(i * 64 * memdev.WordsPerLine % (1 << 16)))
+	}
+	nvmNS := float64(c.Now()-t0) / n
+	t1 := c.Now()
+	for i := 0; i < n; i++ {
+		c.Load(memdev.DRAMBase + memdev.Addr(i*64*memdev.WordsPerLine%(1<<16)))
+	}
+	dramNS := float64(c.Now()-t1) / n
+	ratio := nvmNS / dramNS
+	if ratio < 2.2 || ratio > 4.5 {
+		t.Fatalf("NVM/DRAM cold-load ratio = %.2f (nvm %.0f ns, dram %.0f ns), want ~3x", ratio, nvmNS, dramNS)
+	}
+}
+
+func TestRoutedPageCount(t *testing.T) {
+	bus := MustNew(Config{
+		Threads: 1,
+		Domain:  durability.PDRAMLite,
+		Dev:     memdev.Config{NVMWords: 1 << 14, DRAMWords: 1 << 12},
+	})
+	if bus.RoutedPageCount() != 0 {
+		t.Fatal("fresh bus has routed pages")
+	}
+	bus.RoutePages(0, 512)    // 1 page
+	bus.RoutePages(2048, 600) // spans pages 4..5 -> 2 pages
+	if got := bus.RoutedPageCount(); got != 3 {
+		t.Fatalf("routed pages = %d, want 3", got)
+	}
+
+	adr := MustNew(Config{
+		Threads: 1,
+		Domain:  durability.ADR,
+		Dev:     memdev.Config{NVMWords: 1 << 14, DRAMWords: 1 << 12},
+	})
+	adr.RoutePages(0, 512)
+	if adr.RoutedPageCount() != 0 {
+		t.Fatal("ADR bus accepted page routing")
+	}
+}

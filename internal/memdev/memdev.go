@@ -1,0 +1,295 @@
+// Package memdev implements the simulated byte-addressable memory
+// device: an NVM (Optane) region with separate volatile and media
+// images, and a DRAM region with a volatile image only.
+//
+// The device is word-addressed (64-bit words, 8 words per 64 B cache
+// line). The volatile image is what running programs observe; the
+// media image is what survives a power failure. Each NVM line carries
+// a persistence state:
+//
+//	Clean      — volatile and media agree (or line never written)
+//	DirtyCache — stored to, but not yet flushed; lost under ADR
+//	InWPQ      — flushed (clwb) or evicted into the write-pending
+//	             queue; durable under ADR and stronger domains
+//
+// Flushing a line snapshots its volatile contents into a pending slot
+// together with the virtual time at which the WPQ drain completes;
+// Crash applies the domain's policy to pending and dirty lines to
+// produce the post-failure media image.
+//
+// memdev carries no timing of its own; latency and bandwidth modeling
+// live in the wpq and membus packages.
+package memdev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"goptm/internal/durability"
+)
+
+// Addr is a word address in the simulated physical address space.
+// NVM occupies [0, NVMWords); DRAM occupies [DRAMBase, DRAMBase+DRAMWords).
+type Addr uint64
+
+// DRAMBase is the first word address of the DRAM region. The huge gap
+// guarantees NVM and DRAM ranges can never be confused.
+const DRAMBase Addr = 1 << 40
+
+// WordsPerLine is the number of 64-bit words in a 64 B cache line.
+const WordsPerLine = 8
+
+// LineShift converts between word addresses and line numbers.
+const LineShift = 3
+
+// Line state values, stored per NVM cache line.
+const (
+	LineClean uint32 = iota
+	LineDirtyCache
+	LineInWPQ
+)
+
+// Config sizes a Device.
+type Config struct {
+	NVMWords  uint64 // words of NVM (Optane) memory
+	DRAMWords uint64 // words of DRAM
+}
+
+// pendingWrite is a line snapshot accepted into the WPQ but possibly
+// not yet drained to media.
+type pendingWrite struct {
+	payload [WordsPerLine]uint64
+	drainVT int64 // virtual time at which the drain completes
+}
+
+// Device is the simulated memory device. Word loads and stores are
+// individually atomic; coordination above word granularity is the
+// responsibility of the software running on the device (that is the
+// whole point of the PTM under study).
+type Device struct {
+	nvmWords  uint64
+	dramWords uint64
+
+	nvmVol   []uint64
+	nvmMedia []uint64
+	dramVol  []uint64
+
+	lineState []uint32 // per NVM line, accessed atomically
+
+	mu      sync.Mutex
+	pending map[uint64]pendingWrite // NVM line -> latest accepted flush
+
+	stores  atomic.Int64 // NVM store count, for stats
+	flushes atomic.Int64 // WPQ accepts, for stats
+}
+
+// New creates a device. Both regions must be non-empty and multiples
+// of the line size.
+func New(cfg Config) (*Device, error) {
+	if cfg.NVMWords == 0 || cfg.NVMWords%WordsPerLine != 0 {
+		return nil, fmt.Errorf("memdev: NVMWords %d must be a positive multiple of %d", cfg.NVMWords, WordsPerLine)
+	}
+	if cfg.DRAMWords == 0 || cfg.DRAMWords%WordsPerLine != 0 {
+		return nil, fmt.Errorf("memdev: DRAMWords %d must be a positive multiple of %d", cfg.DRAMWords, WordsPerLine)
+	}
+	return &Device{
+		nvmWords:  cfg.NVMWords,
+		dramWords: cfg.DRAMWords,
+		nvmVol:    make([]uint64, cfg.NVMWords),
+		nvmMedia:  make([]uint64, cfg.NVMWords),
+		dramVol:   make([]uint64, cfg.DRAMWords),
+		lineState: make([]uint32, cfg.NVMWords/WordsPerLine),
+		pending:   make(map[uint64]pendingWrite),
+	}, nil
+}
+
+// MustNew is New but panics on error, for tests and examples.
+func MustNew(cfg Config) *Device {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NVMWords reports the size of the NVM region in words.
+func (d *Device) NVMWords() uint64 { return d.nvmWords }
+
+// DRAMWords reports the size of the DRAM region in words.
+func (d *Device) DRAMWords() uint64 { return d.dramWords }
+
+// IsNVM reports whether a falls in the NVM region.
+func (d *Device) IsNVM(a Addr) bool { return a < Addr(d.nvmWords) }
+
+// IsDRAM reports whether a falls in the DRAM region.
+func (d *Device) IsDRAM(a Addr) bool {
+	return a >= DRAMBase && a < DRAMBase+Addr(d.dramWords)
+}
+
+// LineOf returns the NVM line number containing a. a must be NVM.
+func LineOf(a Addr) uint64 { return uint64(a) >> LineShift }
+
+// LineAddr returns the first word address of NVM line ln.
+func LineAddr(ln uint64) Addr { return Addr(ln << LineShift) }
+
+// checkAddr panics on out-of-range addresses: such an access is a bug
+// in the software under test, not a recoverable condition.
+func (d *Device) index(a Addr) (arr []uint64, i uint64) {
+	switch {
+	case a < Addr(d.nvmWords):
+		return d.nvmVol, uint64(a)
+	case a >= DRAMBase && a < DRAMBase+Addr(d.dramWords):
+		return d.dramVol, uint64(a - DRAMBase)
+	default:
+		panic(fmt.Sprintf("memdev: address %#x out of range (nvm %d words, dram %d words)", uint64(a), d.nvmWords, d.dramWords))
+	}
+}
+
+// Load returns the current (volatile) value of the word at a.
+func (d *Device) Load(a Addr) uint64 {
+	arr, i := d.index(a)
+	return atomic.LoadUint64(&arr[i])
+}
+
+// Store sets the volatile value of the word at a and, for NVM
+// addresses, marks the containing line dirty.
+func (d *Device) Store(a Addr, v uint64) {
+	arr, i := d.index(a)
+	atomic.StoreUint64(&arr[i], v)
+	if a < Addr(d.nvmWords) {
+		atomic.StoreUint32(&d.lineState[LineOf(a)], LineDirtyCache)
+		d.stores.Add(1)
+	}
+}
+
+// LineState reports the persistence state of NVM line ln.
+func (d *Device) LineState(ln uint64) uint32 {
+	return atomic.LoadUint32(&d.lineState[ln])
+}
+
+// WPQAccept snapshots the volatile contents of NVM line ln into the
+// write-pending queue with the given drain completion time. It models
+// both an explicit clwb and a dirty-line eviction reaching the memory
+// controller. Accepting a clean line is a no-op snapshot (harmless,
+// like a clwb of an unmodified line).
+func (d *Device) WPQAccept(ln uint64, drainVT int64) {
+	base := ln << LineShift
+	if base >= d.nvmWords {
+		panic(fmt.Sprintf("memdev: WPQAccept of line %d beyond NVM", ln))
+	}
+	var p pendingWrite
+	for w := uint64(0); w < WordsPerLine; w++ {
+		p.payload[w] = atomic.LoadUint64(&d.nvmVol[base+w])
+	}
+	p.drainVT = drainVT
+	d.mu.Lock()
+	d.pending[ln] = p
+	d.mu.Unlock()
+	atomic.StoreUint32(&d.lineState[ln], LineInWPQ)
+	d.flushes.Add(1)
+}
+
+// PendingLines reports how many line flushes are sitting in the
+// pending (WPQ) set.
+func (d *Device) PendingLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// Stats reports cumulative NVM stores and WPQ accepts.
+func (d *Device) Stats() (stores, flushes int64) {
+	return d.stores.Load(), d.flushes.Load()
+}
+
+// Crash applies a power failure at virtual time vt under the given
+// durability domain, producing the post-failure media image:
+//
+//   - Pending WPQ entries are applied to media if the domain preserves
+//     the WPQ, or if their drain had already completed by vt.
+//   - Dirty cached lines are applied (volatile -> media) if the domain
+//     flushes caches on failure.
+//
+// After Crash the volatile images are zeroed (DRAM contents and
+// non-persisted NVM lines are gone; NVM volatile is re-seeded from
+// media, as if the file were mapped again after reboot) and all line
+// states are Clean. Higher layers (the page cache) must write back any
+// DRAM-cached NVM pages *before* calling Crash when the domain
+// requires it.
+func (d *Device) Crash(vt int64, dom durability.Domain) {
+	d.mu.Lock()
+	for ln, p := range d.pending {
+		if dom.WPQPersists() || p.drainVT <= vt {
+			base := ln << LineShift
+			for w := uint64(0); w < WordsPerLine; w++ {
+				d.nvmMedia[base+w] = p.payload[w]
+			}
+		}
+	}
+	d.pending = make(map[uint64]pendingWrite)
+	d.mu.Unlock()
+
+	if dom.CachePersists() {
+		for ln := range d.lineState {
+			if atomic.LoadUint32(&d.lineState[ln]) == LineDirtyCache {
+				base := uint64(ln) << LineShift
+				for w := uint64(0); w < WordsPerLine; w++ {
+					d.nvmMedia[base+w] = atomic.LoadUint64(&d.nvmVol[base+w])
+				}
+			}
+		}
+	}
+
+	copy(d.nvmVol, d.nvmMedia)
+	for i := range d.dramVol {
+		d.dramVol[i] = 0
+	}
+	for i := range d.lineState {
+		atomic.StoreUint32(&d.lineState[i], LineClean)
+	}
+}
+
+// MediaWriteLine writes a full line of payload directly to NVM media
+// and volatile, bypassing the WPQ. Used by the page cache when writing
+// back a dirty DRAM frame (the writeback itself is durable once
+// complete) and by recovery code.
+func (d *Device) MediaWriteLine(ln uint64, payload [WordsPerLine]uint64) {
+	base := ln << LineShift
+	if base >= d.nvmWords {
+		panic(fmt.Sprintf("memdev: MediaWriteLine of line %d beyond NVM", ln))
+	}
+	d.mu.Lock()
+	delete(d.pending, ln) // writeback supersedes any pending flush
+	for w := uint64(0); w < WordsPerLine; w++ {
+		d.nvmMedia[base+w] = payload[w]
+		atomic.StoreUint64(&d.nvmVol[base+w], payload[w])
+	}
+	d.mu.Unlock()
+	atomic.StoreUint32(&d.lineState[ln], LineClean)
+}
+
+// MediaLoad reads the media image directly. Only meaningful after
+// Crash (post-failure inspection) or for verification in tests.
+func (d *Device) MediaLoad(a Addr) uint64 {
+	if a >= Addr(d.nvmWords) {
+		panic(fmt.Sprintf("memdev: MediaLoad of non-NVM address %#x", uint64(a)))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nvmMedia[a]
+}
+
+// Quiesce applies every pending flush to media unconditionally, as if
+// the machine were shut down cleanly. Used at the end of healthy runs.
+func (d *Device) Quiesce() {
+	d.mu.Lock()
+	for ln, p := range d.pending {
+		base := ln << LineShift
+		for w := uint64(0); w < WordsPerLine; w++ {
+			d.nvmMedia[base+w] = p.payload[w]
+		}
+	}
+	d.pending = make(map[uint64]pendingWrite)
+	d.mu.Unlock()
+}

@@ -1,0 +1,341 @@
+package memdev
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"goptm/internal/durability"
+)
+
+func newDev(t testing.TB) *Device {
+	t.Helper()
+	d, err := New(Config{NVMWords: 1024, DRAMWords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{NVMWords: 0, DRAMWords: 8},
+		{NVMWords: 8, DRAMWords: 0},
+		{NVMWords: 9, DRAMWords: 8},  // not line-aligned
+		{NVMWords: 16, DRAMWords: 3}, // not line-aligned
+	}
+	for _, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", c)
+		}
+	}
+	if _, err := New(Config{NVMWords: 8, DRAMWords: 8}); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	d := newDev(t)
+	if !d.IsNVM(0) || !d.IsNVM(1023) || d.IsNVM(1024) {
+		t.Error("NVM range misclassified")
+	}
+	if !d.IsDRAM(DRAMBase) || !d.IsDRAM(DRAMBase+511) || d.IsDRAM(DRAMBase+512) {
+		t.Error("DRAM range misclassified")
+	}
+	if d.IsDRAM(0) || d.IsNVM(DRAMBase) {
+		t.Error("regions overlap")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	d := newDev(t)
+	d.Store(5, 42)
+	d.Store(DRAMBase+7, 99)
+	if d.Load(5) != 42 {
+		t.Error("NVM load after store")
+	}
+	if d.Load(DRAMBase+7) != 99 {
+		t.Error("DRAM load after store")
+	}
+	if d.Load(6) != 0 {
+		t.Error("untouched word not zero")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newDev(t)
+	for _, a := range []Addr{1024, DRAMBase - 1, DRAMBase + 512} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("access to %#x did not panic", uint64(a))
+				}
+			}()
+			d.Load(a)
+		}()
+	}
+}
+
+func TestStoreDirtiesLine(t *testing.T) {
+	d := newDev(t)
+	if d.LineState(0) != LineClean {
+		t.Fatal("fresh line not clean")
+	}
+	d.Store(3, 1) // line 0
+	if d.LineState(0) != LineDirtyCache {
+		t.Fatal("store did not dirty line")
+	}
+	d.Store(DRAMBase, 1) // DRAM store must not touch NVM line states
+	if d.LineState(0) != LineDirtyCache {
+		t.Fatal("DRAM store changed NVM line state")
+	}
+}
+
+func TestWPQAcceptTransitions(t *testing.T) {
+	d := newDev(t)
+	d.Store(8, 7) // line 1
+	d.WPQAccept(1, 100)
+	if d.LineState(1) != LineInWPQ {
+		t.Fatal("flush did not move line to WPQ state")
+	}
+	if d.PendingLines() != 1 {
+		t.Fatalf("pending = %d, want 1", d.PendingLines())
+	}
+	// A store after the flush re-dirties the line.
+	d.Store(8, 9)
+	if d.LineState(1) != LineDirtyCache {
+		t.Fatal("store after flush did not re-dirty line")
+	}
+}
+
+func TestCrashADRPersistsWPQOnly(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 11) // line 0: flushed
+	d.WPQAccept(0, 1_000_000)
+	d.Store(8, 22) // line 1: dirty only
+	d.Crash(0, durability.ADR)
+	if got := d.Load(0); got != 11 {
+		t.Fatalf("flushed word lost under ADR: %d", got)
+	}
+	if got := d.Load(8); got != 0 {
+		t.Fatalf("dirty unflushed word survived ADR crash: %d", got)
+	}
+}
+
+func TestCrashEADRPersistsDirtyCache(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 11)
+	d.Store(8, 22)
+	d.Crash(0, durability.EADR)
+	if d.Load(0) != 11 || d.Load(8) != 22 {
+		t.Fatal("dirty lines lost under eADR")
+	}
+}
+
+func TestCrashNoReservePersistsDrainedOnly(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 11)
+	d.WPQAccept(0, 50) // drains at vt 50
+	d.Store(8, 22)
+	d.WPQAccept(1, 500) // drains at vt 500
+	d.Crash(100, durability.NoReserve)
+	if d.Load(0) != 11 {
+		t.Fatal("drained line lost under NoReserve")
+	}
+	if d.Load(8) != 0 {
+		t.Fatal("undrained WPQ line survived NoReserve crash")
+	}
+}
+
+func TestCrashSnapshotSemantics(t *testing.T) {
+	// The WPQ holds the value at flush time, not crash time: a store
+	// after clwb must not be durable under ADR.
+	d := newDev(t)
+	d.Store(0, 1)
+	d.WPQAccept(0, 10)
+	d.Store(0, 2) // newer, never flushed
+	d.Crash(100, durability.ADR)
+	if got := d.Load(0); got != 1 {
+		t.Fatalf("post-crash value = %d, want flush-time value 1", got)
+	}
+}
+
+func TestCrashZeroesDRAMAndStates(t *testing.T) {
+	d := newDev(t)
+	d.Store(DRAMBase+3, 77)
+	d.Store(0, 5)
+	d.Crash(0, durability.ADR)
+	if d.Load(DRAMBase+3) != 0 {
+		t.Fatal("DRAM survived crash")
+	}
+	if d.LineState(0) != LineClean {
+		t.Fatal("line states not reset after crash")
+	}
+	if d.PendingLines() != 0 {
+		t.Fatal("pending set not cleared after crash")
+	}
+}
+
+func TestQuiesceAppliesPending(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 123)
+	d.WPQAccept(0, 1<<60) // drain far in the future
+	d.Quiesce()
+	d.Crash(0, durability.NoReserve) // strictest domain
+	if d.Load(0) != 123 {
+		t.Fatal("quiesced write lost")
+	}
+}
+
+func TestMediaWriteLine(t *testing.T) {
+	d := newDev(t)
+	var p [WordsPerLine]uint64
+	for i := range p {
+		p[i] = uint64(i + 1)
+	}
+	d.Store(16, 999) // line 2 dirty, then superseded by writeback
+	d.WPQAccept(2, 10)
+	d.MediaWriteLine(2, p)
+	if d.LineState(2) != LineClean {
+		t.Fatal("writeback did not clean line")
+	}
+	if d.PendingLines() != 0 {
+		t.Fatal("writeback did not supersede pending flush")
+	}
+	for i := range p {
+		if d.Load(Addr(16+i)) != uint64(i+1) {
+			t.Fatal("writeback not visible in volatile image")
+		}
+	}
+	d.Crash(0, durability.NoReserve)
+	if d.Load(16) != 1 {
+		t.Fatal("media writeback lost on crash")
+	}
+}
+
+func TestMediaLoad(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 42)
+	if d.MediaLoad(0) != 0 {
+		t.Fatal("unflushed store visible in media")
+	}
+	d.WPQAccept(0, 0)
+	d.Quiesce()
+	if d.MediaLoad(0) != 42 {
+		t.Fatal("quiesced store not in media")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 1)
+	d.Store(8, 1)
+	d.Store(DRAMBase, 1) // not counted
+	d.WPQAccept(0, 0)
+	stores, flushes := d.Stats()
+	if stores != 2 || flushes != 1 {
+		t.Fatalf("stats = (%d, %d), want (2, 1)", stores, flushes)
+	}
+}
+
+func TestConcurrentStoresDistinctWords(t *testing.T) {
+	d := MustNew(Config{NVMWords: 8192, DRAMWords: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1024; i++ {
+				a := Addr(g*1024 + i)
+				d.Store(a, uint64(g*1024+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 8192; i++ {
+		if d.Load(Addr(i)) != uint64(i) {
+			t.Fatalf("word %d corrupted", i)
+		}
+	}
+}
+
+func TestCrashPrefixProperty(t *testing.T) {
+	// Property: under ADR, after arbitrary store/flush sequences, every
+	// word's media value is the value it had at its last flush (or zero
+	// if never flushed).
+	f := func(ops []uint16) bool {
+		d := MustNew(Config{NVMWords: 64, DRAMWords: 8})
+		lastFlushed := make(map[Addr]uint64)
+		shadow := make(map[Addr]uint64)
+		val := uint64(1)
+		for _, op := range ops {
+			a := Addr(op % 64)
+			if op%3 == 0 {
+				ln := LineOf(a)
+				d.WPQAccept(ln, int64(op))
+				base := Addr(ln << LineShift)
+				for w := Addr(0); w < WordsPerLine; w++ {
+					lastFlushed[base+w] = shadow[base+w]
+				}
+			} else {
+				d.Store(a, val)
+				shadow[a] = val
+				val++
+			}
+		}
+		d.Crash(1<<60, durability.ADR)
+		for a := Addr(0); a < 64; a++ {
+			if d.Load(a) != lastFlushed[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashEADRNoLossProperty(t *testing.T) {
+	// Property: under eADR every executed store is durable at crash.
+	f := func(ops []uint16) bool {
+		d := MustNew(Config{NVMWords: 64, DRAMWords: 8})
+		shadow := make(map[Addr]uint64)
+		val := uint64(1)
+		for _, op := range ops {
+			a := Addr(op % 64)
+			d.Store(a, val)
+			shadow[a] = val
+			val++
+		}
+		d.Crash(0, durability.EADR)
+		for a, v := range shadow {
+			if d.Load(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew accepted invalid config")
+		}
+	}()
+	MustNew(Config{NVMWords: 0, DRAMWords: 0})
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	for _, a := range []Addr{0, 7, 8, 63, 64, 1000} {
+		ln := LineOf(a)
+		base := LineAddr(ln)
+		if base > a || a-base >= WordsPerLine {
+			t.Fatalf("LineAddr(LineOf(%d)) = %d", a, base)
+		}
+	}
+}

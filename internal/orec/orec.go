@@ -1,0 +1,99 @@
+// Package orec implements the ownership-record (orec) table and the
+// global version clock used by the PTM algorithms, following the
+// word-based STM design of TL2 / TinySTM that the paper's orec-lazy
+// and orec-eager algorithms build on.
+//
+// Each orec is a versioned lock packed into one uint64:
+//
+//	locked:   (owner << 1) | 1    — owner is a non-zero transaction id
+//	unlocked:  version << 1       — version is a global-clock value
+//
+// Addresses hash to orecs at cache-line granularity (64 B stripes), so
+// two writers to the same line conflict — mirroring both the hardware
+// reality and the reference implementation.
+package orec
+
+import (
+	"sync/atomic"
+
+	"goptm/internal/memdev"
+)
+
+// DefaultSize is the default number of orecs (2^20, as in the paper's
+// runtime).
+const DefaultSize = 1 << 20
+
+// Table is the orec table plus the global version clock. Safe for
+// concurrent use.
+type Table struct {
+	orecs []atomic.Uint64
+	mask  uint64
+	clock atomic.Uint64
+}
+
+// New creates a table with size orecs. size must be a power of two;
+// size <= 0 selects DefaultSize.
+func New(size int) *Table {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	if size&(size-1) != 0 {
+		panic("orec: table size must be a power of two")
+	}
+	return &Table{orecs: make([]atomic.Uint64, size), mask: uint64(size - 1)}
+}
+
+// Index maps a word address to its orec slot.
+func (t *Table) Index(a memdev.Addr) int {
+	line := uint64(a) >> memdev.LineShift
+	return int((line * 0x9E3779B97F4A7C15) >> 40 & t.mask)
+}
+
+// Load returns the current orec word for slot i.
+func (t *Table) Load(i int) uint64 { return t.orecs[i].Load() }
+
+// IsLocked reports whether orec word v is locked.
+func IsLocked(v uint64) bool { return v&1 == 1 }
+
+// Owner extracts the owner id from a locked orec word.
+func Owner(v uint64) uint64 { return v >> 1 }
+
+// Version extracts the version from an unlocked orec word.
+func Version(v uint64) uint64 { return v >> 1 }
+
+// Locked builds a locked orec word for owner (owner must be non-zero).
+func Locked(owner uint64) uint64 { return owner<<1 | 1 }
+
+// Versioned builds an unlocked orec word carrying version.
+func Versioned(version uint64) uint64 { return version << 1 }
+
+// TryLock atomically locks slot i for owner if its current value is
+// the unlocked word for expectVersion. It returns true on success.
+func (t *Table) TryLock(i int, owner, expectVersion uint64) bool {
+	return t.orecs[i].CompareAndSwap(Versioned(expectVersion), Locked(owner))
+}
+
+// Release unlocks slot i, publishing newVersion. The caller must hold
+// the lock.
+func (t *Table) Release(i int, newVersion uint64) {
+	t.orecs[i].Store(Versioned(newVersion))
+}
+
+// ReadClock returns the current global version clock.
+func (t *Table) ReadClock() uint64 { return t.clock.Load() }
+
+// IncClock atomically advances the global clock and returns the new
+// value (the commit timestamp).
+func (t *Table) IncClock() uint64 { return t.clock.Add(1) }
+
+// Size reports the number of orecs.
+func (t *Table) Size() int { return len(t.orecs) }
+
+// Reset clears every orec and the clock. Only for recovery: after a
+// crash all volatile STM metadata is reconstructed empty.
+func (t *Table) Reset() {
+	for i := range t.orecs {
+		t.orecs[i].Store(0)
+	}
+	t.clock.Store(0)
+}

@@ -1,0 +1,202 @@
+package orec
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"goptm/internal/memdev"
+)
+
+func TestWordEncoding(t *testing.T) {
+	if IsLocked(Versioned(5)) {
+		t.Error("versioned word reads as locked")
+	}
+	if !IsLocked(Locked(3)) {
+		t.Error("locked word reads as unlocked")
+	}
+	if Version(Versioned(7)) != 7 {
+		t.Error("version round trip failed")
+	}
+	if Owner(Locked(9)) != 9 {
+		t.Error("owner round trip failed")
+	}
+}
+
+func TestEncodingRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		v >>= 1 // keep in range
+		return Version(Versioned(v)) == v && Owner(Locked(v)) == v &&
+			!IsLocked(Versioned(v)) && IsLocked(Locked(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size accepted")
+		}
+	}()
+	New(1000)
+}
+
+func TestDefaultSize(t *testing.T) {
+	tb := New(0)
+	if tb.Size() != DefaultSize {
+		t.Fatalf("size = %d, want %d", tb.Size(), DefaultSize)
+	}
+}
+
+func TestIndexStripesByLine(t *testing.T) {
+	tb := New(1 << 10)
+	// Words within one 64 B line share an orec.
+	for w := memdev.Addr(1); w < memdev.WordsPerLine; w++ {
+		if tb.Index(0) != tb.Index(w) {
+			t.Fatalf("words 0 and %d map to different orecs", w)
+		}
+	}
+	// Distinct lines should usually differ.
+	same := 0
+	for l := 0; l < 1000; l++ {
+		if tb.Index(memdev.Addr(l*8)) == tb.Index(memdev.Addr((l+1)*8)) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("adjacent lines collide %d/1000 times", same)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	tb := New(1 << 8)
+	f := func(a uint64) bool {
+		i := tb.Index(memdev.Addr(a))
+		return i >= 0 && i < tb.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryLockRelease(t *testing.T) {
+	tb := New(1 << 8)
+	i := tb.Index(0)
+	if !tb.TryLock(i, 1, 0) {
+		t.Fatal("lock of fresh orec failed")
+	}
+	if tb.TryLock(i, 2, 0) {
+		t.Fatal("double lock succeeded")
+	}
+	v := tb.Load(i)
+	if !IsLocked(v) || Owner(v) != 1 {
+		t.Fatalf("orec word = %#x", v)
+	}
+	tb.Release(i, 42)
+	v = tb.Load(i)
+	if IsLocked(v) || Version(v) != 42 {
+		t.Fatalf("after release orec word = %#x", v)
+	}
+	// Re-lock requires the current version.
+	if tb.TryLock(i, 1, 0) {
+		t.Fatal("lock with stale version succeeded")
+	}
+	if !tb.TryLock(i, 1, 42) {
+		t.Fatal("lock with current version failed")
+	}
+}
+
+func TestClock(t *testing.T) {
+	tb := New(1 << 8)
+	if tb.ReadClock() != 0 {
+		t.Fatal("fresh clock not zero")
+	}
+	if tb.IncClock() != 1 || tb.IncClock() != 2 {
+		t.Fatal("clock increments wrong")
+	}
+	if tb.ReadClock() != 2 {
+		t.Fatal("clock read wrong")
+	}
+}
+
+func TestClockConcurrentUnique(t *testing.T) {
+	tb := New(1 << 8)
+	const goroutines = 8
+	const per = 1000
+	got := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[g] = append(got[g], tb.IncClock())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, s := range got {
+		for _, v := range s {
+			if seen[v] {
+				t.Fatalf("duplicate commit timestamp %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d timestamps, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	tb := New(1 << 4)
+	i := tb.Index(0)
+	var holders int32
+	var maxHolders int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 1; g <= 8; g++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				v := tb.Load(i)
+				if IsLocked(v) {
+					continue
+				}
+				if tb.TryLock(i, owner, Version(v)) {
+					mu.Lock()
+					holders++
+					if holders > maxHolders {
+						maxHolders = holders
+					}
+					if holders != 1 {
+						mu.Unlock()
+						t.Errorf("%d holders inside critical section", holders)
+						return
+					}
+					holders--
+					mu.Unlock()
+					tb.Release(i, Version(v)+1)
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if maxHolders != 1 {
+		t.Fatalf("max holders = %d", maxHolders)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := New(1 << 4)
+	tb.TryLock(0, 1, 0)
+	tb.IncClock()
+	tb.Reset()
+	if tb.Load(0) != 0 || tb.ReadClock() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

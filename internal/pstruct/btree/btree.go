@@ -1,0 +1,285 @@
+// Package btree implements a transactional persistent B+Tree over the
+// PTM word heap — the index used by the DudeTM microbenchmarks and the
+// TPCC (B+Tree) configuration in the paper.
+//
+// Nodes are fixed-fanout blocks in the persistent heap. All reads and
+// writes go through the enclosing transaction, so the tree inherits
+// the PTM's atomicity, isolation, and durability: a crash mid-insert
+// rolls back (undo) or replays (redo) to a consistent shape.
+//
+// Deletion removes keys from leaves without rebalancing (the usual
+// simplification in STM benchmarks, including the paper's); lookups
+// and inserts remain correct because underfull leaves stay valid.
+package btree
+
+import (
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+)
+
+// Fanout is the max keys per node. Nodes are sized so leaves and
+// internal nodes fit a small power-of-two block.
+const Fanout = 8
+
+// Node layout (word offsets).
+const (
+	offHeader = 0 // isLeaf | count<<1
+	offKeys   = 1
+	// Leaf:    values at offKeys+Fanout, next at offKeys+2*Fanout
+	// Internal: children at offKeys+Fanout (Fanout+1 of them)
+	offVals     = offKeys + Fanout
+	offChildren = offKeys + Fanout
+	offNext     = offKeys + 2*Fanout
+	nodeWords   = offNext + 1
+)
+
+// Tree is a handle onto a persistent B+Tree. The handle itself is
+// volatile; the tree is identified by the holder block that stores the
+// root pointer (publish it via a heap root slot).
+type Tree struct {
+	holder memdev.Addr // one-word block: current root node
+}
+
+// Create allocates an empty tree inside tx and returns its handle.
+func Create(tx *core.Tx) Tree {
+	holder := tx.Alloc(1)
+	root := newLeaf(tx)
+	tx.Store(holder, uint64(root))
+	return Tree{holder: holder}
+}
+
+// Open re-attaches to the tree whose holder block is at holder (e.g.
+// read from a heap root slot after recovery).
+func Open(holder memdev.Addr) Tree {
+	return Tree{holder: holder}
+}
+
+// Holder returns the holder address for persisting in a root slot.
+func (t Tree) Holder() memdev.Addr { return t.holder }
+
+func newLeaf(tx *core.Tx) memdev.Addr {
+	n := tx.Alloc(nodeWords)
+	tx.Store(n+offHeader, header(true, 0))
+	tx.Store(n+offNext, 0)
+	return n
+}
+
+func newInternal(tx *core.Tx) memdev.Addr {
+	n := tx.Alloc(nodeWords)
+	tx.Store(n+offHeader, header(false, 0))
+	return n
+}
+
+func header(isLeaf bool, count int) uint64 {
+	h := uint64(count) << 1
+	if isLeaf {
+		h |= 1
+	}
+	return h
+}
+
+func isLeaf(h uint64) bool { return h&1 == 1 }
+func count(h uint64) int   { return int(h >> 1) }
+
+// Lookup returns the value stored under key.
+func (t Tree) Lookup(tx *core.Tx, key uint64) (uint64, bool) {
+	n := memdev.Addr(tx.Load(t.holder))
+	for {
+		h := tx.Load(n + offHeader)
+		c := count(h)
+		if isLeaf(h) {
+			for i := 0; i < c; i++ {
+				if tx.Load(n+offKeys+memdev.Addr(i)) == key {
+					return tx.Load(n + offVals + memdev.Addr(i)), true
+				}
+			}
+			return 0, false
+		}
+		n = t.child(tx, n, c, key)
+	}
+}
+
+// child selects the subtree for key in internal node n with c keys.
+func (t Tree) child(tx *core.Tx, n memdev.Addr, c int, key uint64) memdev.Addr {
+	i := 0
+	for i < c && key >= tx.Load(n+offKeys+memdev.Addr(i)) {
+		i++
+	}
+	return memdev.Addr(tx.Load(n + offChildren + memdev.Addr(i)))
+}
+
+// Insert stores (key, value), replacing any existing value. It
+// reports whether the key was newly inserted.
+func (t Tree) Insert(tx *core.Tx, key, val uint64) bool {
+	root := memdev.Addr(tx.Load(t.holder))
+	added, split, sep, right := t.insert(tx, root, key, val)
+	if split {
+		nr := newInternal(tx)
+		tx.Store(nr+offHeader, header(false, 1))
+		tx.Store(nr+offKeys, sep)
+		tx.Store(nr+offChildren, uint64(root))
+		tx.Store(nr+offChildren+1, uint64(right))
+		tx.Store(t.holder, uint64(nr))
+	}
+	return added
+}
+
+// insert descends into n; on overflow it splits and returns the
+// separator key and new right sibling for the parent to absorb.
+func (t Tree) insert(tx *core.Tx, n memdev.Addr, key, val uint64) (added, split bool, sep uint64, right memdev.Addr) {
+	h := tx.Load(n + offHeader)
+	c := count(h)
+	if isLeaf(h) {
+		// Update in place if present.
+		for i := 0; i < c; i++ {
+			if tx.Load(n+offKeys+memdev.Addr(i)) == key {
+				tx.Store(n+offVals+memdev.Addr(i), val)
+				return false, false, 0, 0
+			}
+		}
+		if c < Fanout {
+			t.leafInsertAt(tx, n, c, key, val)
+			return true, false, 0, 0
+		}
+		// Split the leaf: left keeps half, right takes the rest.
+		right = newLeaf(tx)
+		half := Fanout / 2
+		for i := half; i < c; i++ {
+			tx.Store(right+offKeys+memdev.Addr(i-half), tx.Load(n+offKeys+memdev.Addr(i)))
+			tx.Store(right+offVals+memdev.Addr(i-half), tx.Load(n+offVals+memdev.Addr(i)))
+		}
+		tx.Store(right+offHeader, header(true, c-half))
+		tx.Store(right+offNext, tx.Load(n+offNext))
+		tx.Store(n+offHeader, header(true, half))
+		tx.Store(n+offNext, uint64(right))
+		sep = tx.Load(right + offKeys)
+		if key >= sep {
+			t.leafInsertAt(tx, right, c-half, key, val)
+		} else {
+			t.leafInsertAt(tx, n, half, key, val)
+		}
+		return true, true, sep, right
+	}
+
+	childAddr := t.child(tx, n, c, key)
+	added, csplit, csep, cright := t.insert(tx, childAddr, key, val)
+	if !csplit {
+		return added, false, 0, 0
+	}
+	if c < Fanout {
+		t.internalInsertAt(tx, n, c, csep, cright)
+		return added, false, 0, 0
+	}
+	// Split this internal node. Middle key moves up.
+	right = newInternal(tx)
+	half := Fanout / 2
+	sep = tx.Load(n + offKeys + memdev.Addr(half))
+	rc := c - half - 1
+	for i := 0; i < rc; i++ {
+		tx.Store(right+offKeys+memdev.Addr(i), tx.Load(n+offKeys+memdev.Addr(half+1+i)))
+	}
+	for i := 0; i <= rc; i++ {
+		tx.Store(right+offChildren+memdev.Addr(i), tx.Load(n+offChildren+memdev.Addr(half+1+i)))
+	}
+	tx.Store(right+offHeader, header(false, rc))
+	tx.Store(n+offHeader, header(false, half))
+	if csep >= sep {
+		t.internalInsertAt(tx, right, rc, csep, cright)
+	} else {
+		t.internalInsertAt(tx, n, half, csep, cright)
+	}
+	return added, true, sep, right
+}
+
+// leafInsertAt inserts (key, val) into a leaf with c < Fanout keys.
+func (t Tree) leafInsertAt(tx *core.Tx, n memdev.Addr, c int, key, val uint64) {
+	i := c
+	for i > 0 && tx.Load(n+offKeys+memdev.Addr(i-1)) > key {
+		tx.Store(n+offKeys+memdev.Addr(i), tx.Load(n+offKeys+memdev.Addr(i-1)))
+		tx.Store(n+offVals+memdev.Addr(i), tx.Load(n+offVals+memdev.Addr(i-1)))
+		i--
+	}
+	tx.Store(n+offKeys+memdev.Addr(i), key)
+	tx.Store(n+offVals+memdev.Addr(i), val)
+	tx.Store(n+offHeader, header(true, c+1))
+}
+
+// internalInsertAt inserts (sep, child-after-sep) into an internal
+// node with c < Fanout keys.
+func (t Tree) internalInsertAt(tx *core.Tx, n memdev.Addr, c int, sep uint64, child memdev.Addr) {
+	i := c
+	for i > 0 && tx.Load(n+offKeys+memdev.Addr(i-1)) > sep {
+		tx.Store(n+offKeys+memdev.Addr(i), tx.Load(n+offKeys+memdev.Addr(i-1)))
+		tx.Store(n+offChildren+memdev.Addr(i+1), tx.Load(n+offChildren+memdev.Addr(i)))
+		i--
+	}
+	tx.Store(n+offKeys+memdev.Addr(i), sep)
+	tx.Store(n+offChildren+memdev.Addr(i+1), uint64(child))
+	tx.Store(n+offHeader, header(false, c+1))
+}
+
+// Delete removes key from its leaf (no rebalancing) and reports
+// whether it was present.
+func (t Tree) Delete(tx *core.Tx, key uint64) bool {
+	n := memdev.Addr(tx.Load(t.holder))
+	for {
+		h := tx.Load(n + offHeader)
+		c := count(h)
+		if !isLeaf(h) {
+			n = t.child(tx, n, c, key)
+			continue
+		}
+		for i := 0; i < c; i++ {
+			if tx.Load(n+offKeys+memdev.Addr(i)) == key {
+				for j := i; j < c-1; j++ {
+					tx.Store(n+offKeys+memdev.Addr(j), tx.Load(n+offKeys+memdev.Addr(j+1)))
+					tx.Store(n+offVals+memdev.Addr(j), tx.Load(n+offVals+memdev.Addr(j+1)))
+				}
+				tx.Store(n+offHeader, header(true, c-1))
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Count walks the leaf chain and returns the number of stored keys.
+// Intended for verification, not hot paths.
+func (t Tree) Count(tx *core.Tx) int {
+	n := memdev.Addr(tx.Load(t.holder))
+	for {
+		h := tx.Load(n + offHeader)
+		if isLeaf(h) {
+			break
+		}
+		n = memdev.Addr(tx.Load(n + offChildren))
+	}
+	total := 0
+	for n != 0 {
+		h := tx.Load(n + offHeader)
+		total += count(h)
+		n = memdev.Addr(tx.Load(n + offNext))
+	}
+	return total
+}
+
+// Keys returns all keys in leaf-chain order (verification helper).
+func (t Tree) Keys(tx *core.Tx) []uint64 {
+	n := memdev.Addr(tx.Load(t.holder))
+	for {
+		h := tx.Load(n + offHeader)
+		if isLeaf(h) {
+			break
+		}
+		n = memdev.Addr(tx.Load(n + offChildren))
+	}
+	var out []uint64
+	for n != 0 {
+		h := tx.Load(n + offHeader)
+		for i := 0; i < count(h); i++ {
+			out = append(out, tx.Load(n+offKeys+memdev.Addr(i)))
+		}
+		n = memdev.Addr(tx.Load(n + offNext))
+	}
+	return out
+}

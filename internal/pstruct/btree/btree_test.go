@@ -1,0 +1,339 @@
+package btree
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+	"goptm/internal/simtime"
+)
+
+func newTM(t testing.TB, algo core.Algo, threads int) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo:          algo,
+		Medium:        core.MediumNVM,
+		Domain:        durability.ADR,
+		Threads:       threads,
+		HeapWords:     1 << 20,
+		MaxLogEntries: 512,
+		OrecSize:      1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+var bothAlgos = []core.Algo{core.OrecLazy, core.OrecEager}
+
+func TestInsertLookup(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, 1)
+		th := tm.Thread(0)
+		var tr Tree
+		th.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+		for k := uint64(0); k < 100; k++ {
+			k := k
+			th.Atomic(func(tx *core.Tx) {
+				if !tr.Insert(tx, k, k*10) {
+					t.Errorf("%v: insert of fresh key %d reported update", algo, k)
+				}
+			})
+		}
+		th.Atomic(func(tx *core.Tx) {
+			for k := uint64(0); k < 100; k++ {
+				v, ok := tr.Lookup(tx, k)
+				if !ok || v != k*10 {
+					t.Fatalf("%v: lookup(%d) = (%d, %v)", algo, k, v, ok)
+				}
+			}
+			if _, ok := tr.Lookup(tx, 1000); ok {
+				t.Errorf("%v: found absent key", algo)
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestInsertUpdates(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var tr Tree
+	th.Atomic(func(tx *core.Tx) {
+		tr = Create(tx)
+		tr.Insert(tx, 5, 50)
+		if tr.Insert(tx, 5, 55) {
+			t.Error("update reported as fresh insert")
+		}
+		if v, _ := tr.Lookup(tx, 5); v != 55 {
+			t.Errorf("updated value = %d", v)
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, 1)
+		th := tm.Thread(0)
+		var tr Tree
+		th.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+		for k := uint64(0); k < 50; k++ {
+			k := k
+			th.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, k) })
+		}
+		th.Atomic(func(tx *core.Tx) {
+			for k := uint64(0); k < 50; k += 2 {
+				if !tr.Delete(tx, k) {
+					t.Errorf("%v: delete(%d) missed", algo, k)
+				}
+			}
+			if tr.Delete(tx, 100) {
+				t.Errorf("%v: deleted absent key", algo)
+			}
+		})
+		th.Atomic(func(tx *core.Tx) {
+			for k := uint64(0); k < 50; k++ {
+				_, ok := tr.Lookup(tx, k)
+				if want := k%2 == 1; ok != want {
+					t.Fatalf("%v: post-delete lookup(%d) = %v, want %v", algo, k, ok, want)
+				}
+			}
+			if tr.Count(tx) != 25 {
+				t.Errorf("%v: count = %d, want 25", algo, tr.Count(tx))
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestSortedLeafChain(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var tr Tree
+	r := simtime.NewRand(42)
+	inserted := map[uint64]bool{}
+	th.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+	for i := 0; i < 500; i++ {
+		k := r.Uint64n(10000)
+		inserted[k] = true
+		th.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, k) })
+	}
+	th.Atomic(func(tx *core.Tx) {
+		keys := tr.Keys(tx)
+		if len(keys) != len(inserted) {
+			t.Fatalf("keys = %d, want %d", len(keys), len(inserted))
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatal("leaf chain out of order")
+		}
+		for _, k := range keys {
+			if !inserted[k] {
+				t.Fatalf("phantom key %d", k)
+			}
+		}
+	})
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	// Property test: a random op sequence matches a map model.
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, 1)
+		th := tm.Thread(0)
+		var tr Tree
+		th.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+		model := map[uint64]uint64{}
+		r := simtime.NewRand(7)
+		for i := 0; i < 3000; i++ {
+			k := r.Uint64n(300)
+			switch r.Intn(3) {
+			case 0:
+				v := r.Uint64()
+				model[k] = v
+				th.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, v) })
+			case 1:
+				_, want := model[k]
+				delete(model, k)
+				var got bool
+				th.Atomic(func(tx *core.Tx) { got = tr.Delete(tx, k) })
+				if got != want {
+					t.Fatalf("%v: delete(%d) = %v, want %v", algo, k, got, want)
+				}
+			case 2:
+				wantV, want := model[k]
+				var got bool
+				var gotV uint64
+				th.Atomic(func(tx *core.Tx) { gotV, got = tr.Lookup(tx, k) })
+				if got != want || (want && gotV != wantV) {
+					t.Fatalf("%v: lookup(%d) = (%d,%v), want (%d,%v)", algo, k, gotV, got, wantV, want)
+				}
+			}
+		}
+		th.Atomic(func(tx *core.Tx) {
+			if c := tr.Count(tx); c != len(model) {
+				t.Fatalf("%v: count = %d, model = %d", algo, c, len(model))
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestConcurrentInsertDisjoint(t *testing.T) {
+	const threads = 4
+	const per = 150
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, threads)
+		setup := tm.Thread(0)
+		var tr Tree
+		setup.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+		setup.Detach()
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := tm.Thread(tid)
+				defer th.Detach()
+				for i := 0; i < per; i++ {
+					k := uint64(tid*per + i)
+					th.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, k) })
+				}
+			}(tid)
+		}
+		wg.Wait()
+		check := tm.Thread(0)
+		check.Atomic(func(tx *core.Tx) {
+			if c := tr.Count(tx); c != threads*per {
+				t.Fatalf("%v: count = %d, want %d", algo, c, threads*per)
+			}
+			for k := uint64(0); k < threads*per; k++ {
+				if v, ok := tr.Lookup(tx, k); !ok || v != k {
+					t.Fatalf("%v: lost key %d", algo, k)
+				}
+			}
+		})
+		check.Detach()
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	const threads = 4
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, threads)
+		setup := tm.Thread(0)
+		var tr Tree
+		setup.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+		for k := uint64(0); k < 200; k++ {
+			k := k
+			setup.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, k) })
+		}
+		setup.Detach()
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := tm.Thread(tid)
+				defer th.Detach()
+				r := th.Rand()
+				for i := 0; i < 200; i++ {
+					k := r.Uint64n(400)
+					switch r.Intn(3) {
+					case 0:
+						th.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, k) })
+					case 1:
+						th.Atomic(func(tx *core.Tx) { tr.Delete(tx, k) })
+					default:
+						th.Atomic(func(tx *core.Tx) { tr.Lookup(tx, k) })
+					}
+				}
+			}(tid)
+		}
+		wg.Wait()
+		// Structural integrity: leaf chain sorted, no duplicates.
+		check := tm.Thread(0)
+		check.Atomic(func(tx *core.Tx) {
+			keys := tr.Keys(tx)
+			for i := 1; i < len(keys); i++ {
+				if keys[i] <= keys[i-1] {
+					t.Fatalf("%v: leaf chain corrupt at %d: %d <= %d", algo, i, keys[i], keys[i-1])
+				}
+			}
+		})
+		check.Detach()
+	}
+}
+
+func TestCrashRecoveryPreservesTree(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	var tr Tree
+	th.Atomic(func(tx *core.Tx) { tr = Create(tx) })
+	for k := uint64(0); k < 300; k++ {
+		k := k
+		th.Atomic(func(tx *core.Tx) { tr.Insert(tx, k, k^0xABCD) })
+	}
+	tm.SetRoot(th, 0, tr.Holder())
+	vt := th.Now()
+	th.Detach()
+	tm.Crash(vt)
+	tm2, _, err := core.Reopen(tm.Bus(), tm.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := tm2.Thread(0)
+	defer th2.Detach()
+	tr2 := Open(tm2.Root(th2, 0))
+	th2.Atomic(func(tx *core.Tx) {
+		for k := uint64(0); k < 300; k++ {
+			v, ok := tr2.Lookup(tx, k)
+			if !ok || v != k^0xABCD {
+				t.Fatalf("post-recovery lookup(%d) = (%d, %v)", k, v, ok)
+			}
+		}
+	})
+}
+
+func TestEmptyTreeOperations(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	th.Atomic(func(tx *core.Tx) {
+		tr := Create(tx)
+		if _, ok := tr.Lookup(tx, 1); ok {
+			t.Fatal("lookup hit on empty tree")
+		}
+		if tr.Delete(tx, 1) {
+			t.Fatal("delete hit on empty tree")
+		}
+		if tr.Count(tx) != 0 {
+			t.Fatal("empty count not zero")
+		}
+		if len(tr.Keys(tx)) != 0 {
+			t.Fatal("empty keys not empty")
+		}
+	})
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var holder memdev.Addr
+	th.Atomic(func(tx *core.Tx) {
+		tr := Create(tx)
+		tr.Insert(tx, 9, 90)
+		holder = tr.Holder()
+	})
+	tr2 := Open(holder)
+	th.Atomic(func(tx *core.Tx) {
+		if v, ok := tr2.Lookup(tx, 9); !ok || v != 90 {
+			t.Fatalf("reopened tree lookup = (%d,%v)", v, ok)
+		}
+	})
+}

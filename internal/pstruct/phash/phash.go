@@ -1,0 +1,134 @@
+// Package phash implements a transactional persistent hash table with
+// open chaining over the PTM word heap — the index used by the
+// paper's TPCC (Hash Table), TATP, and memcached-style workloads.
+//
+// The bucket array is one block; each entry chains nodes of
+// (key, value, next). The table does not resize: the paper's
+// experiments size their tables up front, and resizing under a PTM
+// would distort the transaction profile being measured.
+package phash
+
+import (
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+)
+
+// Table layout: block of 1+N words: word 0 = bucket count, then heads.
+const (
+	offBuckets = 0
+	offHeads   = 1
+)
+
+// Node layout.
+const (
+	nodeKey   = 0
+	nodeVal   = 1
+	nodeNext  = 2
+	nodeWords = 3
+)
+
+// Map is a handle onto a persistent hash table.
+type Map struct {
+	table memdev.Addr
+}
+
+// Create allocates a table with buckets chains inside tx. buckets
+// must be a power of two.
+func Create(tx *core.Tx, buckets int) Map {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("phash: bucket count must be a positive power of two")
+	}
+	t := tx.AllocZeroed(uint64(1 + buckets))
+	tx.Store(t+offBuckets, uint64(buckets))
+	return Map{table: t}
+}
+
+// Open re-attaches to a table (e.g. from a heap root slot).
+func Open(table memdev.Addr) Map { return Map{table: table} }
+
+// Table returns the table block address for persisting in a root
+// slot.
+func (m Map) Table() memdev.Addr { return m.table }
+
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	return key
+}
+
+func (m Map) bucket(tx *core.Tx, key uint64) memdev.Addr {
+	n := tx.Load(m.table + offBuckets)
+	return m.table + offHeads + memdev.Addr(hash(key)&(n-1))
+}
+
+// Get returns the value stored under key.
+func (m Map) Get(tx *core.Tx, key uint64) (uint64, bool) {
+	node := memdev.Addr(tx.Load(m.bucket(tx, key)))
+	for node != 0 {
+		if tx.Load(node+nodeKey) == key {
+			return tx.Load(node + nodeVal), true
+		}
+		node = memdev.Addr(tx.Load(node + nodeNext))
+	}
+	return 0, false
+}
+
+// Put stores (key, value), replacing any existing binding. It reports
+// whether the key was newly inserted.
+func (m Map) Put(tx *core.Tx, key, val uint64) bool {
+	head := m.bucket(tx, key)
+	node := memdev.Addr(tx.Load(head))
+	for node != 0 {
+		if tx.Load(node+nodeKey) == key {
+			tx.Store(node+nodeVal, val)
+			return false
+		}
+		node = memdev.Addr(tx.Load(node + nodeNext))
+	}
+	n := tx.Alloc(nodeWords)
+	tx.Store(n+nodeKey, key)
+	tx.Store(n+nodeVal, val)
+	tx.Store(n+nodeNext, tx.Load(head))
+	tx.Store(head, uint64(n))
+	return true
+}
+
+// Delete removes key and reports whether it was present. The removed
+// node is freed (the free takes effect only if the transaction
+// commits).
+func (m Map) Delete(tx *core.Tx, key uint64) bool {
+	head := m.bucket(tx, key)
+	prev := head
+	isHead := true
+	node := memdev.Addr(tx.Load(head))
+	for node != 0 {
+		if tx.Load(node+nodeKey) == key {
+			next := tx.Load(node + nodeNext)
+			if isHead {
+				tx.Store(prev, next)
+			} else {
+				tx.Store(prev+nodeNext, next)
+			}
+			tx.Free(node)
+			return true
+		}
+		prev, isHead = node, false
+		node = memdev.Addr(tx.Load(node + nodeNext))
+	}
+	return false
+}
+
+// Len counts all stored keys (verification helper, walks every chain).
+func (m Map) Len(tx *core.Tx) int {
+	buckets := int(tx.Load(m.table + offBuckets))
+	total := 0
+	for b := 0; b < buckets; b++ {
+		node := memdev.Addr(tx.Load(m.table + offHeads + memdev.Addr(b)))
+		for node != 0 {
+			total++
+			node = memdev.Addr(tx.Load(node + nodeNext))
+		}
+	}
+	return total
+}

@@ -1,0 +1,317 @@
+package phash
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+	"goptm/internal/simtime"
+)
+
+func newTM(t testing.TB, algo core.Algo, threads int) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo:          algo,
+		Medium:        core.MediumNVM,
+		Domain:        durability.ADR,
+		Threads:       threads,
+		HeapWords:     1 << 20,
+		MaxLogEntries: 512,
+		OrecSize:      1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+var bothAlgos = []core.Algo{core.OrecLazy, core.OrecEager}
+
+func TestCreateValidation(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two bucket count accepted")
+		}
+	}()
+	th.Atomic(func(tx *core.Tx) { Create(tx, 100) })
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, 1)
+		th := tm.Thread(0)
+		var m Map
+		th.Atomic(func(tx *core.Tx) { m = Create(tx, 64) })
+		for k := uint64(0); k < 200; k++ {
+			k := k
+			th.Atomic(func(tx *core.Tx) {
+				if !m.Put(tx, k, k*3) {
+					t.Errorf("%v: fresh put(%d) reported update", algo, k)
+				}
+			})
+		}
+		th.Atomic(func(tx *core.Tx) {
+			for k := uint64(0); k < 200; k++ {
+				v, ok := m.Get(tx, k)
+				if !ok || v != k*3 {
+					t.Fatalf("%v: get(%d) = (%d,%v)", algo, k, v, ok)
+				}
+			}
+			if _, ok := m.Get(tx, 999); ok {
+				t.Errorf("%v: found absent key", algo)
+			}
+			if m.Len(tx) != 200 {
+				t.Errorf("%v: len = %d", algo, m.Len(tx))
+			}
+		})
+		th.Atomic(func(tx *core.Tx) {
+			if !m.Delete(tx, 100) {
+				t.Errorf("%v: delete missed", algo)
+			}
+			if m.Delete(tx, 100) {
+				t.Errorf("%v: double delete succeeded", algo)
+			}
+		})
+		th.Atomic(func(tx *core.Tx) {
+			if _, ok := m.Get(tx, 100); ok {
+				t.Errorf("%v: deleted key still present", algo)
+			}
+			if m.Len(tx) != 199 {
+				t.Errorf("%v: len = %d after delete", algo, m.Len(tx))
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestPutUpdates(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	th.Atomic(func(tx *core.Tx) {
+		m := Create(tx, 16)
+		m.Put(tx, 7, 1)
+		if m.Put(tx, 7, 2) {
+			t.Error("update reported as fresh")
+		}
+		if v, _ := m.Get(tx, 7); v != 2 {
+			t.Errorf("value = %d, want 2", v)
+		}
+		if m.Len(tx) != 1 {
+			t.Error("update grew the map")
+		}
+	})
+}
+
+func TestDeleteHeadMiddleTail(t *testing.T) {
+	// Force collisions with a single bucket to exercise chain surgery.
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var m Map
+	th.Atomic(func(tx *core.Tx) {
+		m = Create(tx, 1)
+		for k := uint64(1); k <= 5; k++ {
+			m.Put(tx, k, k)
+		}
+	})
+	// Chain order is insertion-dependent; delete middle, tail, head.
+	for _, k := range []uint64{3, 1, 5} {
+		k := k
+		th.Atomic(func(tx *core.Tx) {
+			if !m.Delete(tx, k) {
+				t.Fatalf("delete(%d) missed", k)
+			}
+		})
+	}
+	th.Atomic(func(tx *core.Tx) {
+		if m.Len(tx) != 2 {
+			t.Fatalf("len = %d, want 2", m.Len(tx))
+		}
+		for _, k := range []uint64{2, 4} {
+			if _, ok := m.Get(tx, k); !ok {
+				t.Fatalf("survivor %d missing", k)
+			}
+		}
+	})
+}
+
+func TestDeleteFreesNodes(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var m Map
+	th.Atomic(func(tx *core.Tx) {
+		m = Create(tx, 16)
+		m.Put(tx, 1, 1)
+	})
+	live := tm.Heap().LiveBlocks()
+	th.Atomic(func(tx *core.Tx) { m.Delete(tx, 1) })
+	if tm.Heap().LiveBlocks() != live-1 {
+		t.Fatal("delete did not free the node")
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, 1)
+		th := tm.Thread(0)
+		var m Map
+		th.Atomic(func(tx *core.Tx) { m = Create(tx, 32) })
+		model := map[uint64]uint64{}
+		r := simtime.NewRand(11)
+		for i := 0; i < 3000; i++ {
+			k := r.Uint64n(200)
+			switch r.Intn(3) {
+			case 0:
+				v := r.Uint64()
+				model[k] = v
+				th.Atomic(func(tx *core.Tx) { m.Put(tx, k, v) })
+			case 1:
+				_, want := model[k]
+				delete(model, k)
+				var got bool
+				th.Atomic(func(tx *core.Tx) { got = m.Delete(tx, k) })
+				if got != want {
+					t.Fatalf("%v: delete(%d) = %v, want %v", algo, k, got, want)
+				}
+			default:
+				wantV, want := model[k]
+				var gotV uint64
+				var got bool
+				th.Atomic(func(tx *core.Tx) { gotV, got = m.Get(tx, k) })
+				if got != want || (want && gotV != wantV) {
+					t.Fatalf("%v: get(%d) = (%d,%v), want (%d,%v)", algo, k, gotV, got, wantV, want)
+				}
+			}
+		}
+		th.Atomic(func(tx *core.Tx) {
+			if m.Len(tx) != len(model) {
+				t.Fatalf("%v: len = %d, model = %d", algo, m.Len(tx), len(model))
+			}
+		})
+		th.Detach()
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	const threads = 4
+	for _, algo := range bothAlgos {
+		tm := newTM(t, algo, threads)
+		setup := tm.Thread(0)
+		var m Map
+		setup.Atomic(func(tx *core.Tx) { m = Create(tx, 64) })
+		setup.Detach()
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := tm.Thread(tid)
+				defer th.Detach()
+				r := th.Rand()
+				for i := 0; i < 250; i++ {
+					k := r.Uint64n(128)
+					switch r.Intn(3) {
+					case 0:
+						th.Atomic(func(tx *core.Tx) { m.Put(tx, k, k) })
+					case 1:
+						th.Atomic(func(tx *core.Tx) { m.Delete(tx, k) })
+					default:
+						th.Atomic(func(tx *core.Tx) { m.Get(tx, k) })
+					}
+				}
+			}(tid)
+		}
+		wg.Wait()
+		// Integrity: no duplicate keys across chains; stored values
+		// equal their keys.
+		check := tm.Thread(0)
+		check.Atomic(func(tx *core.Tx) {
+			seen := map[uint64]bool{}
+			for k := uint64(0); k < 128; k++ {
+				if v, ok := m.Get(tx, k); ok {
+					if v != k {
+						t.Fatalf("%v: value mismatch %d->%d", algo, k, v)
+					}
+					if seen[k] {
+						t.Fatalf("%v: duplicate key %d", algo, k)
+					}
+					seen[k] = true
+				}
+			}
+		})
+		check.Detach()
+	}
+}
+
+func TestCrashRecoveryPreservesMap(t *testing.T) {
+	tm := newTM(t, core.OrecEager, 1)
+	th := tm.Thread(0)
+	var m Map
+	th.Atomic(func(tx *core.Tx) { m = Create(tx, 64) })
+	for k := uint64(0); k < 150; k++ {
+		k := k
+		th.Atomic(func(tx *core.Tx) { m.Put(tx, k, k|0xF00) })
+	}
+	tm.SetRoot(th, 0, m.Table())
+	vt := th.Now()
+	th.Detach()
+	tm.Crash(vt)
+	tm2, _, err := core.Reopen(tm.Bus(), tm.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := tm2.Thread(0)
+	defer th2.Detach()
+	m2 := Open(tm2.Root(th2, 0))
+	th2.Atomic(func(tx *core.Tx) {
+		for k := uint64(0); k < 150; k++ {
+			v, ok := m2.Get(tx, k)
+			if !ok || v != k|0xF00 {
+				t.Fatalf("post-recovery get(%d) = (%d,%v)", k, v, ok)
+			}
+		}
+	})
+}
+
+func TestEmptyMapOperations(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	th.Atomic(func(tx *core.Tx) {
+		m := Create(tx, 8)
+		if _, ok := m.Get(tx, 1); ok {
+			t.Fatal("get hit on empty map")
+		}
+		if m.Delete(tx, 1) {
+			t.Fatal("delete hit on empty map")
+		}
+		if m.Len(tx) != 0 {
+			t.Fatal("empty len not zero")
+		}
+	})
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	tm := newTM(t, core.OrecLazy, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var table memdev.Addr
+	th.Atomic(func(tx *core.Tx) {
+		m := Create(tx, 8)
+		m.Put(tx, 3, 33)
+		table = m.Table()
+	})
+	m2 := Open(table)
+	th.Atomic(func(tx *core.Tx) {
+		if v, ok := m2.Get(tx, 3); !ok || v != 33 {
+			t.Fatalf("reopened map get = (%d,%v)", v, ok)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package simtime provides the virtual-time engine that underpins the
+// simulated memory hierarchy.
+//
+// Every simulated hardware thread owns a Thread with a virtual clock
+// measured in integer nanoseconds. Threads advance their own clocks as
+// they execute simulated operations. A windowed barrier keeps all
+// attached threads within one window (default 1 µs) of each other, so
+// that intervals during which a thread holds a lock or occupies a
+// resource overlap realistically with the activity of other threads.
+// Shared hardware resources (cache ports, write-pending-queue drains,
+// media read/write ports) are modeled as multi-port queueing servers:
+// acquiring a busy server pushes the caller's completion time into the
+// future, which is how bandwidth saturation emerges.
+//
+// Virtual time makes experiment results independent of the host's core
+// count and speed: throughput is computed as committed operations per
+// *virtual* second.
+package simtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindow is the default barrier window in virtual nanoseconds.
+// It should be a fraction of a typical transaction's critical-section
+// length so that lock-hold intervals are visible to concurrent threads.
+const DefaultWindow = 1000
+
+// Engine coordinates the virtual clocks of a set of threads.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	winSize int64
+	window  atomic.Int64 // current window end (exclusive)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int // attached, running threads
+	waiting int // threads blocked at the window boundary
+}
+
+// NewEngine returns an engine whose barrier window is winSize virtual
+// nanoseconds. winSize <= 0 selects DefaultWindow.
+func NewEngine(winSize int64) *Engine {
+	if winSize <= 0 {
+		winSize = DefaultWindow
+	}
+	e := &Engine{winSize: winSize}
+	e.cond = sync.NewCond(&e.mu)
+	e.window.Store(winSize)
+	return e
+}
+
+// WindowSize reports the barrier window in virtual nanoseconds.
+func (e *Engine) WindowSize() int64 { return e.winSize }
+
+// NewThread attaches a new simulated thread to the engine. The thread
+// starts at the beginning of the current window, so threads created
+// after others have run (e.g. workers attaching after a setup phase)
+// join the present rather than replaying the past unsynchronized. The
+// returned Thread must be used by a single goroutine and must be
+// Detached when that goroutine finishes, or the remaining threads
+// will block forever at the next window boundary.
+func (e *Engine) NewThread(id int) *Thread {
+	e.mu.Lock()
+	e.active++
+	start := e.window.Load() - e.winSize
+	if start < 0 {
+		start = 0
+	}
+	e.mu.Unlock()
+	return &Thread{engine: e, id: id, clock: start}
+}
+
+// waitUntil blocks the calling thread until the global window has
+// advanced past vt. It implements a generation-style barrier: the last
+// thread to arrive advances the window and wakes everyone.
+func (e *Engine) waitUntil(vt int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for vt >= e.window.Load() {
+		e.waiting++
+		if e.waiting >= e.active {
+			e.advanceWindowLocked()
+		} else {
+			w := e.window.Load()
+			for e.window.Load() == w {
+				e.cond.Wait()
+			}
+			// The window advanced; our waiting increment was
+			// consumed by the reset in advanceWindowLocked.
+		}
+	}
+}
+
+// advanceWindowLocked moves the window forward one step and releases
+// all waiters. Caller holds e.mu.
+func (e *Engine) advanceWindowLocked() {
+	e.waiting = 0
+	e.window.Store(e.window.Load() + e.winSize)
+	e.cond.Broadcast()
+}
+
+// detach removes a thread from the barrier set. If the detaching
+// thread was the only one the rest were waiting for, the window is
+// advanced so they can proceed.
+func (e *Engine) detach() {
+	e.mu.Lock()
+	e.active--
+	if e.active > 0 && e.waiting >= e.active {
+		e.advanceWindowLocked()
+	}
+	e.mu.Unlock()
+}
+
+// Thread is one simulated hardware thread's virtual clock. All methods
+// must be called from the single goroutine that owns the thread.
+type Thread struct {
+	engine *Engine
+	id     int
+	clock  int64
+	done   bool
+}
+
+// ID reports the thread's identifier as passed to NewThread.
+func (t *Thread) ID() int { return t.id }
+
+// Now reports the thread's current virtual time in nanoseconds.
+func (t *Thread) Now() int64 { return t.clock }
+
+// Advance moves the thread's clock forward by d nanoseconds, blocking
+// at window boundaries until other threads catch up. d < 0 panics.
+func (t *Thread) Advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative advance %d", d))
+	}
+	t.AdvanceTo(t.clock + d)
+}
+
+// AdvanceTo moves the thread's clock forward to vt if vt is in the
+// future; a vt in the past is a no-op (the thread has already passed
+// it). Blocks at window boundaries.
+func (t *Thread) AdvanceTo(vt int64) {
+	if vt <= t.clock {
+		return
+	}
+	t.clock = vt
+	if vt >= t.engine.window.Load() {
+		t.engine.waitUntil(vt)
+	}
+}
+
+// Detach removes the thread from the engine's barrier. The thread's
+// clock remains readable but Advance must not be called afterwards.
+// Detach is idempotent.
+func (t *Thread) Detach() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.engine.detach()
+}

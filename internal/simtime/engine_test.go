@@ -1,0 +1,161 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestThreadAdvance(t *testing.T) {
+	e := NewEngine(0)
+	th := e.NewThread(0)
+	defer th.Detach()
+	if th.Now() != 0 {
+		t.Fatalf("new thread clock = %d, want 0", th.Now())
+	}
+	th.Advance(100)
+	if th.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", th.Now())
+	}
+	th.AdvanceTo(50) // past: no-op
+	if th.Now() != 100 {
+		t.Fatalf("AdvanceTo past moved clock to %d", th.Now())
+	}
+	th.AdvanceTo(250)
+	if th.Now() != 250 {
+		t.Fatalf("clock = %d, want 250", th.Now())
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	e := NewEngine(0)
+	th := e.NewThread(0)
+	defer th.Detach()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	th.Advance(-1)
+}
+
+func TestSingleThreadCrossesWindowsFreely(t *testing.T) {
+	e := NewEngine(10)
+	th := e.NewThread(0)
+	defer th.Detach()
+	// With a single attached thread, window crossings must not block.
+	th.Advance(1_000_000)
+	if th.Now() != 1_000_000 {
+		t.Fatalf("clock = %d", th.Now())
+	}
+}
+
+func TestWindowBarrierBoundsSkew(t *testing.T) {
+	const win = 100
+	const n = 4
+	const end = 10_000
+	e := NewEngine(win)
+	threads := make([]*Thread, n)
+	for i := range threads {
+		threads[i] = e.NewThread(i)
+	}
+	var mu sync.Mutex
+	maxSkew := int64(0)
+	clocks := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := threads[i]
+			step := int64(i + 1) // heterogeneous speeds
+			for th.Now() < end {
+				th.Advance(step)
+				mu.Lock()
+				clocks[i] = th.Now()
+				lo, hi := clocks[0], clocks[0]
+				for _, c := range clocks {
+					if c < lo {
+						lo = c
+					}
+					if c > hi {
+						hi = c
+					}
+				}
+				if s := hi - lo; s > maxSkew {
+					maxSkew = s
+				}
+				mu.Unlock()
+			}
+			th.Detach()
+		}(i)
+	}
+	wg.Wait()
+	// Threads may differ by up to roughly two windows plus one step:
+	// one thread can sit at the start of window k while another has
+	// just been released into window k+1 and taken a step.
+	limit := int64(2*win + n + 1)
+	if maxSkew > limit {
+		t.Fatalf("virtual-clock skew %d exceeds limit %d", maxSkew, limit)
+	}
+}
+
+func TestDetachReleasesWaiters(t *testing.T) {
+	e := NewEngine(100)
+	a := e.NewThread(0)
+	b := e.NewThread(1)
+	done := make(chan struct{})
+	go func() {
+		b.Advance(1000) // blocks at window until a catches up or detaches
+		b.Detach()
+		close(done)
+	}()
+	a.Advance(10)
+	a.Detach() // must release b
+	<-done
+	if b.Now() != 1000 {
+		t.Fatalf("b clock = %d, want 1000", b.Now())
+	}
+}
+
+func TestDetachIdempotent(t *testing.T) {
+	e := NewEngine(0)
+	th := e.NewThread(0)
+	th.Detach()
+	th.Detach() // must not panic or corrupt active count
+	th2 := e.NewThread(1)
+	th2.Advance(5000)
+	th2.Detach()
+}
+
+func TestManyThreadsTerminate(t *testing.T) {
+	// Regression test for barrier deadlocks: many threads with random
+	// step sizes all run to completion.
+	e := NewEngine(50)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		th := e.NewThread(i)
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			r := NewRand(uint64(th.ID()))
+			for th.Now() < 20_000 {
+				th.Advance(int64(1 + r.Intn(300)))
+			}
+			th.Detach()
+		}(th)
+	}
+	wg.Wait()
+}
+
+func TestNewThreadJoinsCurrentWindow(t *testing.T) {
+	e := NewEngine(100)
+	a := e.NewThread(0)
+	a.Advance(5000) // single thread: advances freely, window follows
+	b := e.NewThread(1)
+	if b.Now() < a.Now()-2*100 {
+		t.Fatalf("late-joining thread started at %d, far behind %d", b.Now(), a.Now())
+	}
+	a.Detach()
+	b.Detach()
+}

@@ -1,0 +1,103 @@
+package simtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Server models a shared hardware resource with a fixed number of
+// ports, each of which can serve one request at a time. Acquiring a
+// port at virtual time now for hold nanoseconds returns the completion
+// time; if every port is busy the request queues behind the earliest-
+// free port, which is how bandwidth saturation appears as latency.
+//
+// Server is safe for concurrent use.
+type Server struct {
+	mu    sync.Mutex
+	ports []int64 // next-free virtual time per port
+	busy  int64   // total busy nanoseconds, for utilization stats
+}
+
+// NewServer returns a server with n ports. n must be positive.
+func NewServer(n int) *Server {
+	if n <= 0 {
+		panic(fmt.Sprintf("simtime: server needs at least one port, got %d", n))
+	}
+	return &Server{ports: make([]int64, n)}
+}
+
+// Ports reports the number of ports.
+func (s *Server) Ports() int {
+	return len(s.ports)
+}
+
+// Acquire reserves the earliest-available port starting no earlier
+// than now, holding it for hold nanoseconds, and returns the virtual
+// time at which the request completes.
+func (s *Server) Acquire(now, hold int64) int64 {
+	s.mu.Lock()
+	best := 0
+	for i := 1; i < len(s.ports); i++ {
+		if s.ports[i] < s.ports[best] {
+			best = i
+		}
+	}
+	start := now
+	if s.ports[best] > start {
+		start = s.ports[best]
+	}
+	done := start + hold
+	s.ports[best] = done
+	s.busy += hold
+	s.mu.Unlock()
+	return done
+}
+
+// TryAcquire reserves a port only if one is free at time now; it
+// returns the completion time and true, or 0 and false if all ports
+// are busy at now.
+func (s *Server) TryAcquire(now, hold int64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ports {
+		if s.ports[i] <= now {
+			done := now + hold
+			s.ports[i] = done
+			s.busy += hold
+			return done, true
+		}
+	}
+	return 0, false
+}
+
+// NextFree reports the earliest virtual time at which any port is
+// free. Useful for backpressure decisions.
+func (s *Server) NextFree() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := s.ports[0]
+	for _, f := range s.ports[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// BusyTime reports the cumulative busy nanoseconds across all ports,
+// for utilization accounting.
+func (s *Server) BusyTime() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy
+}
+
+// Reset clears all port reservations and accumulated busy time.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	for i := range s.ports {
+		s.ports[i] = 0
+	}
+	s.busy = 0
+	s.mu.Unlock()
+}

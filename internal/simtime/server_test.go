@@ -1,0 +1,211 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerSinglePortSerializes(t *testing.T) {
+	s := NewServer(1)
+	d1 := s.Acquire(0, 10)
+	if d1 != 10 {
+		t.Fatalf("first acquire done = %d, want 10", d1)
+	}
+	d2 := s.Acquire(0, 10) // queues behind the first
+	if d2 != 20 {
+		t.Fatalf("second acquire done = %d, want 20", d2)
+	}
+	d3 := s.Acquire(100, 10) // idle gap: starts at its own time
+	if d3 != 110 {
+		t.Fatalf("third acquire done = %d, want 110", d3)
+	}
+}
+
+func TestServerMultiPortParallel(t *testing.T) {
+	s := NewServer(4)
+	for i := 0; i < 4; i++ {
+		if d := s.Acquire(0, 10); d != 10 {
+			t.Fatalf("acquire %d done = %d, want 10 (parallel ports)", i, d)
+		}
+	}
+	// Fifth request must queue.
+	if d := s.Acquire(0, 10); d != 20 {
+		t.Fatalf("fifth acquire done = %d, want 20", d)
+	}
+}
+
+func TestServerSaturationThroughput(t *testing.T) {
+	// With 4 ports and hold 100, peak throughput is 4 ops per 100 ns
+	// regardless of offered load. 100 back-to-back requests at t=0
+	// must finish at 100*100/4 = 2500.
+	s := NewServer(4)
+	var last int64
+	for i := 0; i < 100; i++ {
+		last = s.Acquire(0, 100)
+	}
+	if last != 2500 {
+		t.Fatalf("last completion = %d, want 2500", last)
+	}
+	if got := s.BusyTime(); got != 100*100 {
+		t.Fatalf("busy time = %d, want 10000", got)
+	}
+}
+
+func TestServerTryAcquire(t *testing.T) {
+	s := NewServer(2)
+	if _, ok := s.TryAcquire(0, 50); !ok {
+		t.Fatal("TryAcquire on idle server failed")
+	}
+	if _, ok := s.TryAcquire(0, 50); !ok {
+		t.Fatal("TryAcquire on second idle port failed")
+	}
+	if _, ok := s.TryAcquire(10, 50); ok {
+		t.Fatal("TryAcquire succeeded on saturated server")
+	}
+	if _, ok := s.TryAcquire(50, 50); !ok {
+		t.Fatal("TryAcquire failed after ports freed")
+	}
+}
+
+func TestServerNextFreeAndReset(t *testing.T) {
+	s := NewServer(2)
+	s.Acquire(0, 30)
+	s.Acquire(0, 70)
+	if nf := s.NextFree(); nf != 30 {
+		t.Fatalf("NextFree = %d, want 30", nf)
+	}
+	s.Reset()
+	if nf := s.NextFree(); nf != 0 {
+		t.Fatalf("NextFree after reset = %d, want 0", nf)
+	}
+	if bt := s.BusyTime(); bt != 0 {
+		t.Fatalf("BusyTime after reset = %d, want 0", bt)
+	}
+}
+
+func TestServerZeroPortsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer(0) did not panic")
+		}
+	}()
+	NewServer(0)
+}
+
+func TestServerConcurrentAcquireInvariants(t *testing.T) {
+	// Property: under concurrent use, total busy time equals the sum
+	// of holds, and every completion is >= its request time + hold.
+	s := NewServer(3)
+	const goroutines = 8
+	const per = 200
+	const hold = 7
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				now := i * 3
+				done := s.Acquire(now, hold)
+				if done < now+hold {
+					errs <- "completion earlier than request+hold"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got, want := s.BusyTime(), int64(goroutines*per*hold); got != want {
+		t.Fatalf("busy time = %d, want %d", got, want)
+	}
+}
+
+func TestServerMonotonePerPortProperty(t *testing.T) {
+	// Property: for a single-port server driven with non-decreasing
+	// request times, completions are strictly increasing when hold>0.
+	f := func(holds []uint8) bool {
+		s := NewServer(1)
+		var now, prev int64
+		for _, h := range holds {
+			hold := int64(h%50) + 1
+			done := s.Acquire(now, hold)
+			if done <= prev {
+				return false
+			}
+			prev = done
+			now += int64(h % 13)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical prefix")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(99)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandUniformityRough(t *testing.T) {
+	// Coarse uniformity check: each of 8 buckets gets 12.5% +- 2%.
+	r := NewRand(1234)
+	const n = 80000
+	var buckets [8]int
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(8)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if frac < 0.105 || frac > 0.145 {
+			t.Fatalf("bucket %d frac %.3f outside tolerance", i, frac)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides a small fixed-footprint latency histogram
+// used to report transaction-latency percentiles in virtual
+// nanoseconds. Buckets are log2-spaced: bucket i counts samples in
+// [2^i, 2^(i+1)) ns, which gives ~±50% resolution over the whole
+// nanosecond-to-second range with 64 counters and no allocation on
+// the record path.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Buckets is the number of log2 buckets (covers up to 2^63 ns).
+const Buckets = 64
+
+// Histogram is a log2 latency histogram. It is not safe for
+// concurrent use; each thread owns one and they are merged afterward.
+type Histogram struct {
+	counts [Buckets]int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+// Record adds one sample (ns >= 0; negative samples are clamped).
+func (h *Histogram) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // 0 -> bucket 0, 1 -> 1, 2..3 -> 2 ...
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean reports the arithmetic mean sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max reports the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile reports an upper bound for the p-th percentile
+// (0 < p <= 100): the top of the bucket containing that rank.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.01
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(float64(h.total)*p/100 + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i >= 63 {
+				return h.max
+			}
+			hi := int64(1) << uint(i)
+			if hi > h.max && h.max > 0 {
+				return h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.0fns p50=%dns p99=%dns max=%dns",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(99), h.max)
+}
+
+// Bars renders an ASCII sketch of the non-empty buckets (for the CLI
+// tools' verbose output).
+func (h *Histogram) Bars(width int) string {
+	if h.total == 0 {
+		return "(empty)"
+	}
+	var peak int64
+	lo, hi := -1, -1
+	for i, c := range h.counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := int(float64(h.counts[i]) / float64(peak) * float64(width))
+		fmt.Fprintf(&b, "%10dns |%-*s| %d\n", int64(1)<<uint(i), width, strings.Repeat("#", n), h.counts[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.Bars(10) != "(empty)" {
+		t.Fatal("empty bars")
+	}
+}
+
+func TestRecordBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{100, 200, 300, 400} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.Max() != 400 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	var h Histogram
+	// 99 samples of ~100ns and 1 of ~1,000,000ns.
+	for i := 0; i < 99; i++ {
+		h.Record(100)
+	}
+	h.Record(1_000_000)
+	p50 := h.Percentile(50)
+	if p50 < 100 || p50 > 256 {
+		t.Fatalf("p50 = %d, want ~128 (log2 bucket top)", p50)
+	}
+	p999 := h.Percentile(99.9)
+	if p999 < 1_000_000 {
+		t.Fatalf("p99.9 = %d, want >= the outlier", p999)
+	}
+	// Out-of-range p values are clamped, not panics.
+	h.Percentile(-1)
+	h.Percentile(200)
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Record(int64(s))
+		}
+		last := int64(0)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Count() == 0 || h.Percentile(100) >= h.Max()/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileWithinFactorTwoProperty(t *testing.T) {
+	// Log2 buckets promise the reported p100 is within 2x of the max.
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Record(int64(s) + 1)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		p := h.Percentile(100)
+		return p >= h.Max()/2 && p <= 2*h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(1000)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 1000 {
+		t.Fatalf("merge: count=%d max=%d", a.Count(), a.Max())
+	}
+	if a.Mean() < 300 || a.Mean() > 350 {
+		t.Fatalf("merged mean = %f", a.Mean())
+	}
+}
+
+func TestStringAndBars(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=1000") || !strings.Contains(s, "p50=") {
+		t.Fatalf("summary malformed: %q", s)
+	}
+	bars := h.Bars(20)
+	if !strings.Contains(bars, "#") {
+		t.Fatalf("bars malformed: %q", bars)
+	}
+}
+
+func TestHugeSampleClamps(t *testing.T) {
+	var h Histogram
+	h.Record(1 << 62)
+	if h.Percentile(100) < 1<<61 {
+		t.Fatal("huge sample lost")
+	}
+}

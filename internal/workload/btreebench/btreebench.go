@@ -1,0 +1,121 @@
+// Package btreebench implements the two B+Tree microbenchmarks from
+// DudeTM that the paper uses (§III-A):
+//
+//   - insert-only: threads insert unique keys into an initially empty
+//     tree (the paper performs 2M insertions; the harness scales the
+//     count — see EXPERIMENTS.md).
+//   - mixed: an equal mix of inserts, lookups, and removes over a
+//     bounded key range (the paper uses 2^21), against a pre-populated
+//     tree.
+package btreebench
+
+import (
+	"sync/atomic"
+
+	"goptm/internal/core"
+	"goptm/internal/pstruct/btree"
+)
+
+// Mode selects the microbenchmark variant.
+type Mode int
+
+// The two variants.
+const (
+	InsertOnly Mode = iota
+	Mixed
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Mode     Mode
+	KeyRange uint64 // mixed: key range (0 selects 1<<18)
+	Prefill  int    // mixed: initial keys (0 selects KeyRange/2)
+}
+
+// Workload drives a persistent B+Tree.
+type Workload struct {
+	cfg  Config
+	tree btree.Tree
+	// Insert-only: a global sequence hands every thread unique keys,
+	// scrambled so inserts spread across the tree.
+	seq atomic.Uint64
+}
+
+// New returns a B+Tree microbenchmark.
+func New(cfg Config) *Workload {
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1 << 18
+	}
+	if cfg.Prefill == 0 {
+		cfg.Prefill = int(cfg.KeyRange / 2)
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string {
+	if w.cfg.Mode == InsertOnly {
+		return "B+Tree insert-only"
+	}
+	return "B+Tree mixed"
+}
+
+// HeapWords sizes the heap for the expected node count plus headroom
+// for insert-only growth.
+func (w *Workload) HeapWords() uint64 {
+	if w.cfg.Mode == InsertOnly {
+		return 1 << 22
+	}
+	// ~KeyRange/8 leaves of a 32-word class plus internals.
+	return w.cfg.KeyRange*8 + (1 << 18)
+}
+
+// Setup creates (and for mixed mode, pre-populates) the tree.
+func (w *Workload) Setup(tm *core.TM, th *core.Thread) {
+	th.Atomic(func(tx *core.Tx) { w.tree = btree.Create(tx) })
+	if w.cfg.Mode == Mixed {
+		r := th.Rand()
+		const batch = 16
+		for done := 0; done < w.cfg.Prefill; done += batch {
+			n := min(batch, w.cfg.Prefill-done)
+			th.Atomic(func(tx *core.Tx) {
+				for i := 0; i < n; i++ {
+					k := r.Uint64n(w.cfg.KeyRange)
+					w.tree.Insert(tx, k, k)
+				}
+			})
+		}
+	}
+	tm.SetRoot(th, 0, w.tree.Holder())
+}
+
+// scramble spreads sequential ids across the key space so insert-only
+// does not degenerate into rightmost-leaf contention.
+func scramble(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Step runs one operation.
+func (w *Workload) Step(th *core.Thread) {
+	if w.cfg.Mode == InsertOnly {
+		k := scramble(w.seq.Add(1))
+		th.Atomic(func(tx *core.Tx) { w.tree.Insert(tx, k, k) })
+		return
+	}
+	r := th.Rand()
+	k := r.Uint64n(w.cfg.KeyRange)
+	switch r.Intn(3) {
+	case 0:
+		th.Atomic(func(tx *core.Tx) { w.tree.Insert(tx, k, k) })
+	case 1:
+		th.Atomic(func(tx *core.Tx) { w.tree.Lookup(tx, k) })
+	default:
+		th.Atomic(func(tx *core.Tx) { w.tree.Delete(tx, k) })
+	}
+}
+
+// Tree exposes the tree for verification in tests.
+func (w *Workload) Tree() btree.Tree { return w.tree }

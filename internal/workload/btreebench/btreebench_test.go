@@ -1,0 +1,113 @@
+package btreebench
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+)
+
+func newTM(t testing.TB, threads int, w *Workload) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo: core.OrecLazy, Medium: core.MediumNVM, Domain: durability.ADR,
+		Threads: threads, HeapWords: w.HeapWords(), OrecSize: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestNames(t *testing.T) {
+	if New(Config{Mode: InsertOnly}).Name() != "B+Tree insert-only" {
+		t.Fatal("insert-only name")
+	}
+	if New(Config{Mode: Mixed}).Name() != "B+Tree mixed" {
+		t.Fatal("mixed name")
+	}
+}
+
+func TestInsertOnlyUniqueKeys(t *testing.T) {
+	// Concurrent insert-only steps must produce exactly one tree key
+	// per step: the global sequence hands out unique scrambled keys.
+	w := New(Config{Mode: InsertOnly})
+	tm := newTM(t, 4, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	const per = 200
+	ths := make([]*core.Thread, 4)
+	for i := range ths {
+		ths[i] = tm.Thread(i)
+	}
+	var wg sync.WaitGroup
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for i := 0; i < per; i++ {
+				w.Step(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	check := tm.Thread(0)
+	defer check.Detach()
+	check.Atomic(func(tx *core.Tx) {
+		if n := w.Tree().Count(tx); n != 4*per {
+			t.Fatalf("tree holds %d keys, want %d (duplicate or lost insert)", n, 4*per)
+		}
+	})
+}
+
+func TestScrambleIsInjectiveSample(t *testing.T) {
+	seen := make(map[uint64]bool, 100000)
+	for i := uint64(1); i <= 100000; i++ {
+		k := scramble(i)
+		if seen[k] {
+			t.Fatalf("scramble collision at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMixedPrefills(t *testing.T) {
+	w := New(Config{Mode: Mixed, KeyRange: 1 << 10, Prefill: 300})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	th.Atomic(func(tx *core.Tx) {
+		n := w.Tree().Count(tx)
+		// Prefill draws random keys; duplicates collapse, so expect
+		// most-but-not-necessarily-all of 300.
+		if n < 200 || n > 300 {
+			t.Fatalf("prefill produced %d keys, want ~300", n)
+		}
+	})
+}
+
+func TestMixedStepsRun(t *testing.T) {
+	w := New(Config{Mode: Mixed, KeyRange: 1 << 10, Prefill: 100})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	before := tm.Commits()
+	for i := 0; i < 300; i++ {
+		w.Step(th)
+	}
+	if tm.Commits()-before != 300 {
+		t.Fatal("mixed steps did not commit one txn each")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	w := New(Config{Mode: Mixed})
+	if w.cfg.KeyRange != 1<<18 || w.cfg.Prefill != 1<<17 {
+		t.Fatalf("defaults: %+v", w.cfg)
+	}
+}

@@ -1,0 +1,147 @@
+// Package kvstore implements the memcached-style key/value workload
+// of §IV-E: a persistent hash-indexed item store serving a 50/50
+// get/set mix with 128 B keys and 1 KB values, driven with uniformly
+// random keys (deliberately poor locality) by a single worker thread.
+// The working-set sweep of Figure 8 varies the item count so the
+// resident set crosses the L3 and then the DRAM page-cache capacity.
+package kvstore
+
+import (
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+	"goptm/internal/pstruct/phash"
+)
+
+// Item geometry, matching the paper's memaslap settings: 128 B keys
+// (16 words) and 1 KB values (128 words).
+const (
+	KeyWords   = 16
+	ValueWords = 128
+
+	itemKeyOff = 0
+	itemValOff = itemKeyOff + KeyWords
+	itemWords  = KeyWords + ValueWords
+)
+
+// Config parameterizes the store.
+type Config struct {
+	Items   int // resident items; drives the working-set size
+	Buckets int // 0 selects Items rounded to a power of two
+}
+
+// blockWords is the allocator size class an item block occupies
+// (header + payload rounded to the next power of two).
+const blockWords = 256
+
+// WorkingSetWords reports the approximate working set in words for a
+// given item count (items plus index nodes).
+func WorkingSetWords(items int) uint64 {
+	return uint64(items) * (itemWords + 8)
+}
+
+// Workload drives the store.
+type Workload struct {
+	cfg   Config
+	index phash.Map
+}
+
+// New returns a kvstore workload holding items items.
+func New(cfg Config) *Workload {
+	if cfg.Items <= 0 {
+		cfg.Items = 4096
+	}
+	if cfg.Buckets <= 0 {
+		b := 1
+		for b < cfg.Items {
+			b <<= 1
+		}
+		cfg.Buckets = b
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "memcached" }
+
+// HeapWords sizes the heap for all items plus index and headroom,
+// accounting for the allocator's power-of-two size classes.
+func (w *Workload) HeapWords() uint64 {
+	return uint64(w.cfg.Items)*(blockWords+8) + uint64(2*w.cfg.Buckets) + (1 << 18)
+}
+
+// Setup populates every item so gets always hit (the paper's sweep
+// measures memory behaviour, not miss handling).
+func (w *Workload) Setup(tm *core.TM, th *core.Thread) {
+	th.Atomic(func(tx *core.Tx) {
+		w.index = phash.Create(tx, w.cfg.Buckets)
+	})
+	for it := 0; it < w.cfg.Items; it++ {
+		key := uint64(it)
+		th.Atomic(func(tx *core.Tx) {
+			item := tx.Alloc(itemWords)
+			for kw := 0; kw < KeyWords; kw++ {
+				tx.Store(item+itemKeyOff+memdev.Addr(kw), key^uint64(kw))
+			}
+			for vw := 0; vw < ValueWords; vw += 8 {
+				// Populate sparsely: one word per line establishes the
+				// value's footprint without 128 setup log entries.
+				tx.Store(item+itemValOff+memdev.Addr(vw), key+uint64(vw))
+			}
+			w.index.Put(tx, key, uint64(item))
+		})
+	}
+	tm.SetRoot(th, 0, w.index.Table())
+}
+
+// Step serves one request: 50/50 get/set on a uniformly random key.
+func (w *Workload) Step(th *core.Thread) {
+	r := th.Rand()
+	key := r.Uint64n(uint64(w.cfg.Items))
+	if r.Intn(2) == 0 {
+		w.get(th, key)
+	} else {
+		w.set(th, key)
+	}
+}
+
+// get reads the full key (verification, as memcached must compare
+// keys) and value.
+func (w *Workload) get(th *core.Thread, key uint64) {
+	th.Atomic(func(tx *core.Tx) {
+		itemW, ok := w.index.Get(tx, key)
+		if !ok {
+			return
+		}
+		item := memdev.Addr(itemW)
+		var sink uint64
+		for kw := 0; kw < KeyWords; kw++ {
+			sink ^= tx.Load(item + itemKeyOff + memdev.Addr(kw))
+		}
+		for vw := 0; vw < ValueWords; vw++ {
+			sink ^= tx.Load(item + itemValOff + memdev.Addr(vw))
+		}
+		_ = sink
+	})
+}
+
+// set overwrites the full value in place.
+func (w *Workload) set(th *core.Thread, key uint64) {
+	r := th.Rand()
+	stamp := r.Uint64()
+	th.Atomic(func(tx *core.Tx) {
+		itemW, ok := w.index.Get(tx, key)
+		if !ok {
+			return
+		}
+		item := memdev.Addr(itemW)
+		for vw := 0; vw < ValueWords; vw++ {
+			tx.Store(item+itemValOff+memdev.Addr(vw), stamp+uint64(vw))
+		}
+	})
+}
+
+// Index exposes the item index for verification.
+func (w *Workload) Index() phash.Map { return w.index }
+
+// Items reports the configured item count.
+func (w *Workload) Items() int { return w.cfg.Items }

@@ -1,0 +1,110 @@
+package kvstore
+
+import (
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func newTM(t testing.TB, w *Workload) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo: core.OrecLazy, Medium: core.MediumNVM, Domain: durability.ADR,
+		Threads: 1, HeapWords: w.HeapWords(), OrecSize: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestGeometryMatchesPaper(t *testing.T) {
+	// 128 B keys and 1 KB values (§III-A memaslap settings).
+	if KeyWords*8 != 128 {
+		t.Fatalf("key bytes = %d, want 128", KeyWords*8)
+	}
+	if ValueWords*8 != 1024 {
+		t.Fatalf("value bytes = %d, want 1024", ValueWords*8)
+	}
+}
+
+func TestHeapEstimateSufficient(t *testing.T) {
+	// Regression test: the heap estimate must cover the allocator's
+	// power-of-two size classes (a 145-word block occupies 256 words).
+	for _, items := range []int{128, 1024, 4096} {
+		w := New(Config{Items: items})
+		tm := newTM(t, w)
+		th := tm.Thread(0)
+		w.Setup(tm, th) // panics on heap exhaustion if the estimate is short
+		th.Detach()
+	}
+}
+
+func TestSetupThenGetsHit(t *testing.T) {
+	w := New(Config{Items: 256})
+	tm := newTM(t, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	th := tm.Thread(0)
+	defer th.Detach()
+	th.Atomic(func(tx *core.Tx) {
+		for _, key := range []uint64{0, 100, 255} {
+			itemW, ok := w.Index().Get(tx, key)
+			if !ok {
+				t.Fatalf("key %d missing after setup", key)
+			}
+			item := memdev.Addr(itemW)
+			if got := tx.Load(item + itemKeyOff); got != key {
+				t.Fatalf("key word = %d, want %d", got, key)
+			}
+		}
+	})
+}
+
+func TestSetOverwritesValue(t *testing.T) {
+	w := New(Config{Items: 64})
+	tm := newTM(t, w)
+	th := tm.Thread(0)
+	w.Setup(tm, th)
+	w.set(th, 5)
+	var v0, v127 uint64
+	th.Atomic(func(tx *core.Tx) {
+		itemW, _ := w.Index().Get(tx, 5)
+		item := memdev.Addr(itemW)
+		v0 = tx.Load(item + itemValOff)
+		v127 = tx.Load(item + itemValOff + ValueWords - 1)
+	})
+	th.Detach()
+	// set writes stamp+i into word i: the whole value is rewritten
+	// consistently.
+	if v127-v0 != ValueWords-1 {
+		t.Fatalf("value not fully rewritten: words 0=%d 127=%d", v0, v127)
+	}
+}
+
+func TestStepsCommit(t *testing.T) {
+	w := New(Config{Items: 64})
+	tm := newTM(t, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	before := tm.Commits()
+	for i := 0; i < 50; i++ {
+		w.Step(th)
+	}
+	if got := tm.Commits() - before; got != 50 {
+		t.Fatalf("50 steps committed %d txns", got)
+	}
+}
+
+func TestWorkingSetMonotone(t *testing.T) {
+	if WorkingSetWords(100) >= WorkingSetWords(200) {
+		t.Fatal("working set not monotone in items")
+	}
+	if w := New(Config{Items: 100}); w.Items() != 100 {
+		t.Fatal("Items accessor wrong")
+	}
+}

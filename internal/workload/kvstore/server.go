@@ -1,0 +1,174 @@
+package kvstore
+
+import (
+	"sync"
+
+	"goptm/internal/core"
+	"goptm/internal/stats"
+)
+
+// This file models the paper's actual Figure 8 setup: "a set of
+// client threads, running on a separate NUMA socket, issue an equal
+// mix of get and set commands" (memaslap driving memcached). Client
+// threads generate requests into a bounded queue; the single server
+// thread drains it, executing each request as a PTM transaction. The
+// coupling runs in virtual time, so request latency (queueing +
+// service) is measured in the same deterministic nanoseconds as
+// throughput.
+
+// request is one queued client command.
+type request struct {
+	key   uint64
+	isSet bool
+	enqVT int64
+}
+
+// ServiceConfig parameterizes the client/server harness.
+type ServiceConfig struct {
+	Clients    int   // request generators
+	QueueDepth int   // bounded request queue; 0 selects 256
+	ThinkNS    int64 // client think time between requests; 0 selects 500
+	PollNS     int64 // server poll quantum when idle; 0 selects 200
+}
+
+// Service couples client generators with the serving thread.
+type Service struct {
+	w   *Workload
+	cfg ServiceConfig
+
+	mu    sync.Mutex
+	queue []request
+
+	servedMu sync.Mutex
+	latency  stats.Histogram
+	served   int64
+	dropped  int64
+}
+
+// NewService wraps a populated Workload for client/server driving.
+func NewService(w *Workload, cfg ServiceConfig) *Service {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.ThinkNS <= 0 {
+		cfg.ThinkNS = 500
+	}
+	if cfg.PollNS <= 0 {
+		cfg.PollNS = 200
+	}
+	return &Service{w: w, cfg: cfg}
+}
+
+// enqueue offers a request; it reports false when the queue is full
+// (the client backs off, as memaslap does when the server falls
+// behind).
+func (s *Service) enqueue(r request) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return false
+	}
+	s.queue = append(s.queue, r)
+	return true
+}
+
+// dequeue pops the oldest request.
+func (s *Service) dequeue() (request, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return request{}, false
+	}
+	r := s.queue[0]
+	s.queue = s.queue[1:]
+	return r, true
+}
+
+// RunClient generates the 50/50 get/set mix on th until virtual time
+// `until`. Clients run on their own simulated threads (the paper's
+// second socket) and perform no transactions themselves.
+func (s *Service) RunClient(th *core.Thread, until int64) {
+	r := th.Rand()
+	for th.Now() < until {
+		req := request{
+			key:   r.Uint64n(uint64(s.w.cfg.Items)),
+			isSet: r.Intn(2) == 1,
+			enqVT: th.Now(),
+		}
+		if !s.enqueue(req) {
+			s.servedMu.Lock()
+			s.dropped++
+			s.servedMu.Unlock()
+		}
+		th.Compute(s.cfg.ThinkNS)
+	}
+}
+
+// RunServer drains the queue on th until virtual time `until`,
+// executing each request transactionally and recording its
+// end-to-end latency.
+func (s *Service) RunServer(th *core.Thread, until int64) {
+	for th.Now() < until {
+		req, ok := s.dequeue()
+		if !ok {
+			th.Compute(s.cfg.PollNS)
+			continue
+		}
+		if req.isSet {
+			s.w.set(th, req.key)
+		} else {
+			s.w.get(th, req.key)
+		}
+		s.servedMu.Lock()
+		s.latency.Record(th.Now() - req.enqVT)
+		s.served++
+		s.servedMu.Unlock()
+	}
+}
+
+// Results reports served requests, drops, and the end-to-end latency
+// distribution.
+func (s *Service) Results() (served, dropped int64, latency *stats.Histogram) {
+	s.servedMu.Lock()
+	defer s.servedMu.Unlock()
+	return s.served, s.dropped, &s.latency
+}
+
+// Serve is the all-in-one driver: it populates the store, spawns the
+// clients and the server on tm, runs for measureNS of virtual time,
+// and returns requests per virtual second. tm must have been built
+// with Threads = cfg.Clients + 1.
+func Serve(tm *core.TM, w *Workload, cfg ServiceConfig, measureNS int64) (rps float64, svc *Service) {
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	start := setup.Now()
+	setup.Detach()
+	until := start + measureNS
+
+	svc = NewService(w, cfg)
+	threads := make([]*core.Thread, cfg.Clients+1)
+	for i := range threads {
+		threads[i] = tm.Thread(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer threads[0].Detach()
+		svc.RunServer(threads[0], until)
+	}()
+	for c := 1; c <= cfg.Clients; c++ {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			svc.RunClient(th, until)
+		}(threads[c])
+	}
+	wg.Wait()
+	served, _, _ := svc.Results()
+	return float64(served) / (float64(measureNS) / 1e9), svc
+}

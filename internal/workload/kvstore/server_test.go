@@ -1,0 +1,148 @@
+package kvstore
+
+import (
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+)
+
+func serviceTM(t testing.TB, w *Workload, threads int) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo: core.OrecLazy, Medium: core.MediumNVM, Domain: durability.EADR,
+		Threads: threads, HeapWords: w.HeapWords(), OrecSize: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestServiceDefaults(t *testing.T) {
+	s := NewService(New(Config{Items: 16}), ServiceConfig{})
+	if s.cfg.Clients != 4 || s.cfg.QueueDepth != 256 || s.cfg.ThinkNS != 500 || s.cfg.PollNS != 200 {
+		t.Fatalf("defaults: %+v", s.cfg)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	s := NewService(New(Config{Items: 16}), ServiceConfig{QueueDepth: 2, Clients: 1})
+	if !s.enqueue(request{}) || !s.enqueue(request{}) {
+		t.Fatal("enqueue below capacity failed")
+	}
+	if s.enqueue(request{}) {
+		t.Fatal("enqueue above capacity succeeded")
+	}
+	if _, ok := s.dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if !s.enqueue(request{}) {
+		t.Fatal("enqueue after dequeue failed")
+	}
+}
+
+func TestDequeueFIFO(t *testing.T) {
+	s := NewService(New(Config{Items: 16}), ServiceConfig{QueueDepth: 8, Clients: 1})
+	for k := uint64(0); k < 4; k++ {
+		s.enqueue(request{key: k})
+	}
+	for k := uint64(0); k < 4; k++ {
+		r, ok := s.dequeue()
+		if !ok || r.key != k {
+			t.Fatalf("dequeue %d = (%v, %v)", k, r.key, ok)
+		}
+	}
+	if _, ok := s.dequeue(); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	w := New(Config{Items: 256})
+	cfg := ServiceConfig{Clients: 2}
+	tm := serviceTM(t, w, cfg.Clients+1)
+	rps, svc := Serve(tm, w, cfg, 1_000_000)
+	served, dropped, lat := svc.Results()
+	if served == 0 {
+		t.Fatal("server served nothing")
+	}
+	if rps <= 0 {
+		t.Fatalf("rps = %f", rps)
+	}
+	if lat.Count() != served {
+		t.Fatalf("latency samples %d != served %d", lat.Count(), served)
+	}
+	// End-to-end latency includes queueing: p50 must exceed a bare
+	// memory op and stay below the full window.
+	p50 := lat.Percentile(50)
+	if p50 < 100 || p50 > 1_000_000 {
+		t.Fatalf("p50 latency %d ns implausible", p50)
+	}
+	t.Logf("served=%d dropped=%d rps=%.0f lat=%s", served, dropped, rps, lat)
+}
+
+func TestServeMatchesStepThroughputRoughly(t *testing.T) {
+	// With enough offered load, the client/server harness should
+	// deliver the same order of magnitude as the self-driving Step
+	// loop: the server thread is the bottleneck in both.
+	w1 := New(Config{Items: 256})
+	cfg := ServiceConfig{Clients: 4, ThinkNS: 300}
+	tm1 := serviceTM(t, w1, cfg.Clients+1)
+	rps, _ := Serve(tm1, w1, cfg, 1_000_000)
+
+	w2 := New(Config{Items: 256})
+	tm2 := serviceTM(t, w2, 1)
+	setup := tm2.Thread(0)
+	w2.Setup(tm2, setup)
+	start := setup.Now()
+	setup.Detach()
+	th := tm2.Thread(0)
+	for th.Now() < start+1_000_000 {
+		w2.Step(th)
+	}
+	s := th.Stats()
+	th.Detach()
+	stepRPS := float64(s.Commits) / 1e-3 / 1e6 // commits per ms -> per s... compute directly
+	stepRPS = float64(s.Commits) / (1_000_000.0 / 1e9)
+
+	ratio := rps / stepRPS
+	if ratio < 0.4 || ratio > 1.4 {
+		t.Fatalf("client/server rps %.0f vs step rps %.0f (ratio %.2f) diverge too much", rps, stepRPS, ratio)
+	}
+}
+
+func TestClientBackpressureCountsDrops(t *testing.T) {
+	// A tiny queue with many fast clients and a slow (absent) server
+	// must record drops rather than deadlock.
+	w := New(Config{Items: 64})
+	tm := serviceTM(t, w, 3)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	start := setup.Now()
+	setup.Detach()
+	svc := NewService(w, ServiceConfig{Clients: 2, QueueDepth: 4, ThinkNS: 100})
+	ths := []*core.Thread{tm.Thread(1), tm.Thread(2)}
+	done := make(chan struct{})
+	for _, th := range ths {
+		go func(th *core.Thread) {
+			defer func() { done <- struct{}{} }()
+			defer th.Detach()
+			svc.RunClient(th, start+200_000)
+		}(th)
+	}
+	// No server: keep a third thread alive so the barrier can advance.
+	idle := tm.Thread(0)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		defer idle.Detach()
+		idle.Compute(250_000)
+	}()
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	_, dropped, _ := svc.Results()
+	if dropped == 0 {
+		t.Fatal("full queue recorded no drops")
+	}
+}

@@ -1,0 +1,295 @@
+// Package tatp implements the write-only TATP telecom benchmark used
+// in the paper (taken there from DudeTM). TATP models a Home Location
+// Register; the write-only configuration runs its two update
+// transactions:
+//
+//	UpdateSubscriberData — update one subscriber's bit/hex fields and
+//	                       one special-facility data field
+//	UpdateLocation       — update a subscriber's VLR location
+//
+// Every transaction performs a small, constant number of writes,
+// which is why TATP is the one workload where undo logging's per-write
+// fences do not dominate (§III-B).
+package tatp
+
+import (
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+	"goptm/internal/pstruct/phash"
+)
+
+// Subscriber record layout (words).
+const (
+	recSubID   = 0
+	recBits    = 1 // bit_x fields packed
+	recHex     = 2 // hex_x fields packed
+	recByte2   = 3 // byte2_x fields packed
+	recVLR     = 4 // vlr_location
+	recSFData  = 5 // special facility data_a..data_b packed
+	recMSCLoc  = 6 // msc_location
+	recPadding = 7
+	recWords   = 8
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Subscribers int // number of subscriber rows; 0 selects 16384
+	Buckets     int // hash buckets; 0 selects Subscribers rounded up
+	// ReadMixPct adds TATP's read transactions (GetSubscriberData,
+	// GetAccessData) at the given percentage of the mix. 0 keeps the
+	// paper's write-only configuration.
+	ReadMixPct int
+	// FullMix runs the standard seven-transaction TATP blend
+	// (80% reads, 16% location/subscriber updates, 4% call-forwarding
+	// insert/delete) instead of the paper's write-only configuration.
+	// Overrides ReadMixPct.
+	FullMix bool
+}
+
+// Call-forwarding record layout (words).
+const (
+	cfEndTime = 0
+	cfNumber  = 1
+	cfWords   = 8
+)
+
+// Workload is the TATP driver. Create with New; safe for concurrent
+// Step calls on distinct threads after Setup.
+type Workload struct {
+	cfg     Config
+	index   phash.Map
+	forward phash.Map // call-forwarding table: cfKey -> record
+}
+
+// cfKey composes a call-forwarding key from subscriber id and start
+// time (TATP uses start times 0, 8, 16).
+func cfKey(sid uint64, start int) uint64 {
+	return sid<<2 | uint64(start/8)
+}
+
+// New returns a TATP workload.
+func New(cfg Config) *Workload {
+	if cfg.Subscribers <= 0 {
+		cfg.Subscribers = 16384
+	}
+	if cfg.Buckets <= 0 {
+		b := 1
+		for b < cfg.Subscribers {
+			b <<= 1
+		}
+		cfg.Buckets = b
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "TATP" }
+
+// HeapWords sizes the heap: indexes plus one subscriber record and up
+// to one call-forwarding record per subscriber, with headroom.
+func (w *Workload) HeapWords() uint64 {
+	return uint64(w.cfg.Subscribers)*40 + uint64(4*w.cfg.Buckets) + (1 << 16)
+}
+
+// Setup creates and populates the subscriber table.
+func (w *Workload) Setup(tm *core.TM, th *core.Thread) {
+	th.Atomic(func(tx *core.Tx) {
+		w.index = phash.Create(tx, w.cfg.Buckets)
+		w.forward = phash.Create(tx, w.cfg.Buckets)
+	})
+	// Populate in small batches: each batch transaction stays well
+	// inside the log capacity while keeping setup fast.
+	const batch = 16
+	for s := 0; s < w.cfg.Subscribers; s += batch {
+		lo, hi := s, min(s+batch, w.cfg.Subscribers)
+		th.Atomic(func(tx *core.Tx) {
+			for i := lo; i < hi; i++ {
+				sid := uint64(i)
+				rec := tx.Alloc(recWords)
+				tx.Store(rec+recSubID, sid)
+				tx.Store(rec+recBits, sid^0x5555)
+				tx.Store(rec+recHex, sid^0xAAAA)
+				tx.Store(rec+recByte2, 0)
+				tx.Store(rec+recVLR, sid)
+				tx.Store(rec+recSFData, 0)
+				tx.Store(rec+recMSCLoc, 0)
+				w.index.Put(tx, sid, uint64(rec))
+			}
+		})
+	}
+	tm.SetRoot(th, 0, w.index.Table())
+	tm.SetRoot(th, 1, w.forward.Table())
+	// Pre-populate a call-forwarding entry for ~25% of subscribers
+	// (TATP loads an average of one row per subscriber across the
+	// three start times; one per four keeps the table sparse).
+	const cfBatch = 16
+	for s0 := 0; s0 < w.cfg.Subscribers; s0 += 4 * cfBatch {
+		lo, hi := s0, min(s0+4*cfBatch, w.cfg.Subscribers)
+		th.Atomic(func(tx *core.Tx) {
+			for sid := lo; sid < hi; sid += 4 {
+				rec := tx.Alloc(cfWords)
+				tx.Store(rec+cfEndTime, 24)
+				tx.Store(rec+cfNumber, uint64(sid)^0xF0F0)
+				w.forward.Put(tx, cfKey(uint64(sid), 0), uint64(rec))
+			}
+		})
+	}
+}
+
+// Step runs one transaction: the paper's write-only 50/50 update mix,
+// optionally diluted with ReadMixPct of read transactions.
+func (w *Workload) Step(th *core.Thread) {
+	r := th.Rand()
+	sid := r.Uint64n(uint64(w.cfg.Subscribers))
+	if w.cfg.FullMix {
+		switch p := r.Intn(100); {
+		case p < 35:
+			w.getSubscriberData(th, sid)
+		case p < 45:
+			w.getNewDestination(th, sid)
+		case p < 80:
+			w.getAccessData(th, sid)
+		case p < 82:
+			w.updateSubscriberData(th, sid)
+		case p < 96:
+			w.updateLocation(th, sid)
+		case p < 98:
+			w.insertCallForwarding(th, sid)
+		default:
+			w.deleteCallForwarding(th, sid)
+		}
+		return
+	}
+	if w.cfg.ReadMixPct > 0 && r.Intn(100) < w.cfg.ReadMixPct {
+		w.getSubscriberData(th, sid)
+		return
+	}
+	if r.Intn(2) == 0 {
+		w.updateSubscriberData(th, sid)
+	} else {
+		w.updateLocation(th, sid)
+	}
+}
+
+// getNewDestination reads the forwarding destination for a call
+// (TATP GET_NEW_DESTINATION; ~27% of lookups miss, as in the spec's
+// sparse table).
+func (w *Workload) getNewDestination(th *core.Thread, sid uint64) {
+	start := th.Rand().Intn(3) * 8
+	th.Atomic(func(tx *core.Tx) {
+		recW, ok := w.forward.Get(tx, cfKey(sid, start))
+		if !ok {
+			return
+		}
+		rec := memdev.Addr(recW)
+		_ = tx.Load(rec + cfEndTime)
+		_ = tx.Load(rec + cfNumber)
+	})
+}
+
+// getAccessData reads the subscriber's access-info fields (TATP
+// GET_ACCESS_DATA).
+func (w *Workload) getAccessData(th *core.Thread, sid uint64) {
+	th.Atomic(func(tx *core.Tx) {
+		recW, ok := w.index.Get(tx, sid)
+		if !ok {
+			return
+		}
+		rec := memdev.Addr(recW)
+		_ = tx.Load(rec + recBits)
+		_ = tx.Load(rec + recHex)
+		_ = tx.Load(rec + recByte2)
+	})
+}
+
+// insertCallForwarding adds a forwarding row for the subscriber
+// (TATP INSERT_CALL_FORWARDING; fails silently if present, as the
+// spec's conditional insert does).
+func (w *Workload) insertCallForwarding(th *core.Thread, sid uint64) {
+	r := th.Rand()
+	start := r.Intn(3) * 8
+	number := r.Uint64()
+	th.Atomic(func(tx *core.Tx) {
+		key := cfKey(sid, start)
+		if _, exists := w.forward.Get(tx, key); exists {
+			return
+		}
+		rec := tx.Alloc(cfWords)
+		tx.Store(rec+cfEndTime, uint64(start+8))
+		tx.Store(rec+cfNumber, number)
+		w.forward.Put(tx, key, uint64(rec))
+	})
+}
+
+// deleteCallForwarding removes a forwarding row (TATP
+// DELETE_CALL_FORWARDING).
+func (w *Workload) deleteCallForwarding(th *core.Thread, sid uint64) {
+	start := th.Rand().Intn(3) * 8
+	th.Atomic(func(tx *core.Tx) {
+		key := cfKey(sid, start)
+		recW, ok := w.forward.Get(tx, key)
+		if !ok {
+			return
+		}
+		w.forward.Delete(tx, key)
+		tx.Free(memdev.Addr(recW))
+	})
+}
+
+// Forwarding exposes the call-forwarding table for verification.
+func (w *Workload) Forwarding() phash.Map { return w.forward }
+
+// getSubscriberData is TATP's dominant read transaction: fetch the
+// whole subscriber row.
+func (w *Workload) getSubscriberData(th *core.Thread, sid uint64) {
+	th.Atomic(func(tx *core.Tx) {
+		recW, ok := w.index.Get(tx, sid)
+		if !ok {
+			return
+		}
+		rec := memdev.Addr(recW)
+		var sink uint64
+		for f := 0; f < recWords; f++ {
+			sink ^= tx.Load(rec + memdev.Addr(f))
+		}
+		_ = sink
+	})
+}
+
+// updateSubscriberData rewrites a subscriber's flag fields and one
+// special-facility data word.
+func (w *Workload) updateSubscriberData(th *core.Thread, sid uint64) {
+	r := th.Rand()
+	bits := r.Uint64()
+	sf := r.Uint64()
+	th.Atomic(func(tx *core.Tx) {
+		recW, ok := w.index.Get(tx, sid)
+		if !ok {
+			return
+		}
+		rec := memdev.Addr(recW)
+		tx.Store(rec+recBits, bits)
+		tx.Store(rec+recSFData, sf)
+	})
+}
+
+// updateLocation rewrites a subscriber's VLR location.
+func (w *Workload) updateLocation(th *core.Thread, sid uint64) {
+	r := th.Rand()
+	loc := r.Uint64()
+	th.Atomic(func(tx *core.Tx) {
+		recW, ok := w.index.Get(tx, sid)
+		if !ok {
+			return
+		}
+		rec := memdev.Addr(recW)
+		tx.Store(rec+recVLR, loc)
+		tx.Store(rec+recMSCLoc, loc>>32)
+	})
+}
+
+// Index exposes the subscriber index for verification in tests.
+func (w *Workload) Index() phash.Map { return w.index }
+
+// Subscribers reports the configured row count.
+func (w *Workload) Subscribers() int { return w.cfg.Subscribers }

@@ -1,0 +1,221 @@
+package tatp
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func newTM(t testing.TB, threads int, w *Workload) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo: core.OrecLazy, Medium: core.MediumNVM, Domain: durability.ADR,
+		Threads: threads, HeapWords: w.HeapWords(), OrecSize: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestDefaults(t *testing.T) {
+	w := New(Config{})
+	if w.Subscribers() != 16384 {
+		t.Fatalf("default subscribers = %d", w.Subscribers())
+	}
+	if w.Name() != "TATP" {
+		t.Fatalf("name = %q", w.Name())
+	}
+	if w.HeapWords() == 0 {
+		t.Fatal("zero heap estimate")
+	}
+}
+
+func TestSetupPopulatesAllSubscribers(t *testing.T) {
+	w := New(Config{Subscribers: 512})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	th.Atomic(func(tx *core.Tx) {
+		if n := w.Index().Len(tx); n != 512 {
+			t.Fatalf("index has %d subscribers, want 512", n)
+		}
+		for _, sid := range []uint64{0, 7, 255, 511} {
+			if _, ok := w.Index().Get(tx, sid); !ok {
+				t.Fatalf("subscriber %d missing", sid)
+			}
+		}
+	})
+}
+
+func TestStepsCommitWrites(t *testing.T) {
+	w := New(Config{Subscribers: 256})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	before := tm.Commits()
+	for i := 0; i < 100; i++ {
+		w.Step(th)
+	}
+	if got := tm.Commits() - before; got != 100 {
+		t.Fatalf("steps committed %d txns, want 100", got)
+	}
+	// TATP is write-only: every transaction writes.
+	if ro := th.Stats().ReadOnlyTxns; ro != 0 {
+		t.Fatalf("%d read-only transactions in a write-only mix", ro)
+	}
+}
+
+func TestSmallWriteSets(t *testing.T) {
+	// The paper's premise for TATP: transactions perform a small,
+	// constant number of writes, so undo's per-write fences are cheap.
+	// Setup runs on a separate thread handle so its bulk transactions
+	// don't pollute the steady-state high-water mark.
+	w := New(Config{Subscribers: 256})
+	tm := newTM(t, 1, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	th := tm.Thread(0)
+	defer th.Detach()
+	for i := 0; i < 200; i++ {
+		w.Step(th)
+	}
+	if hi := th.Stats().MaxLogEntry; hi > 4 {
+		t.Fatalf("TATP transaction wrote %d words, want <= 4", hi)
+	}
+}
+
+func TestConcurrentSteps(t *testing.T) {
+	w := New(Config{Subscribers: 512})
+	tm := newTM(t, 4, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	ths := make([]*core.Thread, 4)
+	for i := range ths {
+		ths[i] = tm.Thread(i)
+	}
+	var wg sync.WaitGroup
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for i := 0; i < 300; i++ {
+				w.Step(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	// The index structure must remain intact.
+	check := tm.Thread(0)
+	defer check.Detach()
+	check.Atomic(func(tx *core.Tx) {
+		if n := w.Index().Len(tx); n != 512 {
+			t.Fatalf("index has %d subscribers after run, want 512", n)
+		}
+	})
+}
+
+func TestReadMixProducesReadOnlyTxns(t *testing.T) {
+	w := New(Config{Subscribers: 256, ReadMixPct: 80})
+	tm := newTM(t, 1, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	th := tm.Thread(0)
+	defer th.Detach()
+	for i := 0; i < 200; i++ {
+		w.Step(th)
+	}
+	ro := th.Stats().ReadOnlyTxns
+	if ro < 100 || ro > 195 {
+		t.Fatalf("read-only txns = %d of 200 at 80%% read mix", ro)
+	}
+}
+
+func TestFullMixRunsAllTransactions(t *testing.T) {
+	w := New(Config{Subscribers: 512, FullMix: true})
+	tm := newTM(t, 1, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	th := tm.Thread(0)
+	defer th.Detach()
+	for i := 0; i < 600; i++ {
+		w.Step(th)
+	}
+	s := th.Stats()
+	// ~80% of the standard mix is read-only.
+	if s.ReadOnlyTxns < 350 || s.ReadOnlyTxns > 560 {
+		t.Fatalf("read-only txns = %d of 600 in the full mix", s.ReadOnlyTxns)
+	}
+	if tm.Commits() < 600 {
+		t.Fatalf("commits = %d", tm.Commits())
+	}
+}
+
+func TestCallForwardingInsertDelete(t *testing.T) {
+	w := New(Config{Subscribers: 64})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	// Subscriber 1 has no preloaded entry (only multiples of 4 do).
+	const sid = 1
+	w.insertCallForwarding(th, sid)
+	found := 0
+	th.Atomic(func(tx *core.Tx) {
+		found = 0
+		for start := 0; start < 24; start += 8 {
+			if _, ok := w.Forwarding().Get(tx, cfKey(sid, start)); ok {
+				found++
+			}
+		}
+	})
+	if found != 1 {
+		t.Fatalf("forwarding rows after insert = %d, want 1", found)
+	}
+	// Delete every start time; the one present row must go away and
+	// its record must be freed.
+	live := tm.Heap().LiveBlocks()
+	for start := 0; start < 24; start += 8 {
+		start := start
+		th.Atomic(func(tx *core.Tx) {
+			key := cfKey(sid, start)
+			if recW, ok := w.Forwarding().Get(tx, key); ok {
+				w.Forwarding().Delete(tx, key)
+				tx.Free(memdev.Addr(recW))
+			}
+		})
+	}
+	th.Atomic(func(tx *core.Tx) {
+		for start := 0; start < 24; start += 8 {
+			if _, ok := w.Forwarding().Get(tx, cfKey(sid, start)); ok {
+				t.Fatal("forwarding row survived delete")
+			}
+		}
+	})
+	if got := tm.Heap().LiveBlocks(); got >= live {
+		t.Fatalf("live blocks %d not reduced from %d (record+node not freed)", got, live)
+	}
+}
+
+func TestPreloadedForwardingSparse(t *testing.T) {
+	w := New(Config{Subscribers: 64})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	th.Atomic(func(tx *core.Tx) {
+		if n := w.Forwarding().Len(tx); n != 16 { // one per 4 subscribers
+			t.Fatalf("preloaded forwarding rows = %d, want 16", n)
+		}
+	})
+}

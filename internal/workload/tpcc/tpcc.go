@@ -1,0 +1,378 @@
+// Package tpcc implements the write-only TPC-C configuration the
+// paper takes from DudeTM: a 50/50 mix of NewOrder and Payment
+// transactions (no read-only queries), with the row indexes stored in
+// either a persistent B+Tree or a persistent Hash Table — the two
+// configurations of Figures 3 and 6 and of Tables I and II.
+package tpcc
+
+import (
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+	"goptm/internal/pstruct/btree"
+	"goptm/internal/pstruct/phash"
+)
+
+// IndexKind selects the paper's two TPCC configurations.
+type IndexKind int
+
+// Index kinds.
+const (
+	BTreeIndex IndexKind = iota
+	HashIndex
+)
+
+// String names the configuration as the paper's figures do.
+func (k IndexKind) String() string {
+	if k == BTreeIndex {
+		return "B+Tree"
+	}
+	return "Hash Table"
+}
+
+// Index abstracts the two index structures.
+type Index interface {
+	Put(tx *core.Tx, key, val uint64) bool
+	Get(tx *core.Tx, key uint64) (uint64, bool)
+}
+
+type btreeIndex struct{ t btree.Tree }
+
+func (b btreeIndex) Put(tx *core.Tx, k, v uint64) bool        { return b.t.Insert(tx, k, v) }
+func (b btreeIndex) Get(tx *core.Tx, k uint64) (uint64, bool) { return b.t.Lookup(tx, k) }
+
+type hashIndex struct{ m phash.Map }
+
+func (h hashIndex) Put(tx *core.Tx, k, v uint64) bool        { return h.m.Put(tx, k, v) }
+func (h hashIndex) Get(tx *core.Tx, k uint64) (uint64, bool) { return h.m.Get(tx, k) }
+
+// Record layouts (words).
+const (
+	whYTD   = 0
+	whWords = 8
+
+	diNextOID   = 0
+	diYTD       = 1
+	diNextDeliv = 2
+	diWords     = 8
+
+	cuBalance = 0
+	cuYTDPay  = 1
+	cuWords   = 8
+
+	stQty    = 0
+	stYTD    = 1
+	stOrders = 2
+	stWords  = 8
+
+	orOID       = 0
+	orCID       = 1
+	orCnt       = 2
+	orDelivered = 3
+	orWords     = 8
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Kind          IndexKind
+	Warehouses    int // 0 scales with the thread count (TPC-C style), min 4
+	Districts     int // per warehouse; 0 selects 10
+	CustomersPerD int // 0 selects 64
+	Items         int // per warehouse; 0 selects 1024
+	MaxOrderLines int // 0 selects 15
+	// FullMix runs the four-transaction TPC-C mix (NewOrder, Payment,
+	// Delivery, OrderStatus) instead of the paper's write-only 50/50
+	// NewOrder/Payment configuration.
+	FullMix bool
+}
+
+// Workload drives the TPCC mix.
+type Workload struct {
+	cfg        Config
+	warehouses []memdev.Addr // record blocks
+	districts  []memdev.Addr // w*Districts + d
+	stock      Index
+	customers  Index
+	orders     Index
+}
+
+// New returns a TPCC workload. If cfg.Warehouses is zero it is fixed
+// at Setup time to the TM's thread count (one home warehouse per
+// terminal, as TPC-C sizes its runs), with a minimum of 4.
+func New(cfg Config) *Workload {
+	if cfg.Districts <= 0 {
+		cfg.Districts = 10
+	}
+	if cfg.CustomersPerD <= 0 {
+		cfg.CustomersPerD = 64
+	}
+	if cfg.Items <= 0 {
+		cfg.Items = 1024
+	}
+	if cfg.MaxOrderLines <= 0 {
+		cfg.MaxOrderLines = 15 // TPC-C order lines are 5..15
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "TPCC (" + w.cfg.Kind.String() + ")" }
+
+// HeapWords sizes the heap: static rows plus room for order inserts.
+// When Warehouses scales with threads it is unknown until Setup, so
+// size for the 32-thread maximum.
+func (w *Workload) HeapWords() uint64 {
+	whs := w.cfg.Warehouses
+	if whs <= 0 {
+		whs = 32
+	}
+	static := uint64(whs) * uint64(16+w.cfg.Districts*16+
+		w.cfg.Districts*w.cfg.CustomersPerD*24+w.cfg.Items*24)
+	return static + (1 << 22) // order growth + index nodes
+}
+
+func (w *Workload) stockKey(wh, item int) uint64 {
+	return uint64(wh)<<32 | uint64(item)
+}
+
+func (w *Workload) custKey(wh, d, c int) uint64 {
+	return uint64(wh)<<40 | uint64(d)<<24 | uint64(c)
+}
+
+func (w *Workload) orderKey(wh, d int, oid uint64) uint64 {
+	return uint64(wh)<<48 | uint64(d)<<40 | oid
+}
+
+func (w *Workload) newIndex(tx *core.Tx, sizeHint int) Index {
+	if w.cfg.Kind == BTreeIndex {
+		return btreeIndex{t: btree.Create(tx)}
+	}
+	b := 1
+	for b < sizeHint {
+		b <<= 1
+	}
+	return hashIndex{m: phash.Create(tx, b)}
+}
+
+// Setup creates and populates all tables and indexes.
+func (w *Workload) Setup(tm *core.TM, th *core.Thread) {
+	if w.cfg.Warehouses <= 0 {
+		w.cfg.Warehouses = tm.Config().Threads
+		if w.cfg.Warehouses < 4 {
+			w.cfg.Warehouses = 4
+		}
+	}
+	cfg := w.cfg
+	th.Atomic(func(tx *core.Tx) {
+		w.stock = w.newIndex(tx, cfg.Warehouses*cfg.Items)
+		w.customers = w.newIndex(tx, cfg.Warehouses*cfg.Districts*cfg.CustomersPerD)
+		w.orders = w.newIndex(tx, 1<<16)
+	})
+	w.warehouses = make([]memdev.Addr, cfg.Warehouses)
+	w.districts = make([]memdev.Addr, cfg.Warehouses*cfg.Districts)
+	for wh := 0; wh < cfg.Warehouses; wh++ {
+		wh := wh
+		th.Atomic(func(tx *core.Tx) {
+			rec := tx.Alloc(whWords)
+			tx.Store(rec+whYTD, 0)
+			w.warehouses[wh] = rec
+			for d := 0; d < cfg.Districts; d++ {
+				dr := tx.Alloc(diWords)
+				tx.Store(dr+diNextOID, 1)
+				tx.Store(dr+diYTD, 0)
+				tx.Store(dr+diNextDeliv, 1)
+				w.districts[wh*cfg.Districts+d] = dr
+			}
+		})
+		for d := 0; d < cfg.Districts; d++ {
+			d := d
+			const batch = 16
+			for c0 := 0; c0 < cfg.CustomersPerD; c0 += batch {
+				lo, hi := c0, min(c0+batch, cfg.CustomersPerD)
+				th.Atomic(func(tx *core.Tx) {
+					for c := lo; c < hi; c++ {
+						rec := tx.Alloc(cuWords)
+						tx.Store(rec+cuBalance, 0)
+						tx.Store(rec+cuYTDPay, 0)
+						w.customers.Put(tx, w.custKey(wh, d, c), uint64(rec))
+					}
+				})
+			}
+		}
+		const batch = 16
+		for i0 := 0; i0 < cfg.Items; i0 += batch {
+			lo, hi := i0, min(i0+batch, cfg.Items)
+			th.Atomic(func(tx *core.Tx) {
+				for i := lo; i < hi; i++ {
+					rec := tx.Alloc(stWords)
+					tx.Store(rec+stQty, 100)
+					tx.Store(rec+stYTD, 0)
+					tx.Store(rec+stOrders, 0)
+					w.stock.Put(tx, w.stockKey(wh, i), uint64(rec))
+				}
+			})
+		}
+	}
+}
+
+// Step runs one transaction of the write-only 50/50 mix. Per the
+// TPC-C specification each terminal (thread) is bound to a home
+// warehouse; a small fraction of transactions touch a remote one.
+func (w *Workload) Step(th *core.Thread) {
+	r := th.Rand()
+	wh := th.TID() % w.cfg.Warehouses
+	if r.Intn(100) < 10 {
+		wh = r.Intn(w.cfg.Warehouses)
+	}
+	d := r.Intn(w.cfg.Districts)
+	if w.cfg.FullMix {
+		switch p := r.Intn(100); {
+		case p < 44:
+			w.newOrder(th, wh, d)
+		case p < 88:
+			w.payment(th, wh, d)
+		case p < 93:
+			w.delivery(th, wh)
+		default:
+			w.orderStatus(th, wh, d)
+		}
+		return
+	}
+	if r.Intn(2) == 0 {
+		w.newOrder(th, wh, d)
+	} else {
+		w.payment(th, wh, d)
+	}
+}
+
+// delivery processes the oldest undelivered order of each district of
+// a warehouse (the TPC-C deferred-delivery batch).
+func (w *Workload) delivery(th *core.Thread, wh int) {
+	th.Atomic(func(tx *core.Tx) {
+		for d := 0; d < w.cfg.Districts; d++ {
+			dr := w.districts[wh*w.cfg.Districts+d]
+			oid := tx.Load(dr + diNextDeliv)
+			if oid >= tx.Load(dr+diNextOID) {
+				continue // nothing undelivered in this district
+			}
+			orderW, ok := w.orders.Get(tx, w.orderKey(wh, d, oid))
+			if ok {
+				order := memdev.Addr(orderW)
+				tx.Store(order+orDelivered, 1)
+				cid := tx.Load(order + orCID)
+				if custW, ok := w.customers.Get(tx, w.custKey(wh, d, int(cid))); ok {
+					cust := memdev.Addr(custW)
+					tx.Store(cust+cuBalance, tx.Load(cust+cuBalance)+10)
+				}
+			}
+			tx.Store(dr+diNextDeliv, oid+1)
+		}
+	})
+}
+
+// orderStatus is TPC-C's read-only query: a customer's balance and
+// the status of a recent order in their district.
+func (w *Workload) orderStatus(th *core.Thread, wh, d int) {
+	r := th.Rand()
+	cid := r.Intn(w.cfg.CustomersPerD)
+	th.Atomic(func(tx *core.Tx) {
+		custW, ok := w.customers.Get(tx, w.custKey(wh, d, cid))
+		if !ok {
+			return
+		}
+		cust := memdev.Addr(custW)
+		_ = tx.Load(cust + cuBalance)
+		_ = tx.Load(cust + cuYTDPay)
+		dr := w.districts[wh*w.cfg.Districts+d]
+		next := tx.Load(dr + diNextOID)
+		if next <= 1 {
+			return
+		}
+		oid := 1 + r.Uint64n(next-1)
+		if orderW, ok := w.orders.Get(tx, w.orderKey(wh, d, oid)); ok {
+			order := memdev.Addr(orderW)
+			_ = tx.Load(order + orCnt)
+			_ = tx.Load(order + orDelivered)
+		}
+	})
+}
+
+// newOrder claims the district's next order id, updates stock for
+// each order line, and inserts the order row.
+func (w *Workload) newOrder(th *core.Thread, wh, d int) {
+	r := th.Rand()
+	nLines := 5 + r.Intn(w.cfg.MaxOrderLines-4)
+	items := make([]int, nLines)
+	for i := range items {
+		items[i] = r.Intn(w.cfg.Items)
+	}
+	cid := r.Intn(w.cfg.CustomersPerD)
+	dr := w.districts[wh*w.cfg.Districts+d]
+	th.Atomic(func(tx *core.Tx) {
+		oid := tx.Load(dr + diNextOID)
+		tx.Store(dr+diNextOID, oid+1)
+		for _, item := range items {
+			recW, ok := w.stock.Get(tx, w.stockKey(wh, item))
+			if !ok {
+				continue
+			}
+			rec := memdev.Addr(recW)
+			qty := tx.Load(rec + stQty)
+			if qty < 10 {
+				qty += 91
+			}
+			tx.Store(rec+stQty, qty-1)
+			tx.Store(rec+stYTD, tx.Load(rec+stYTD)+1)
+			tx.Store(rec+stOrders, tx.Load(rec+stOrders)+1)
+		}
+		order := tx.Alloc(orWords)
+		tx.Store(order+orOID, oid)
+		tx.Store(order+orCID, uint64(cid))
+		tx.Store(order+orCnt, uint64(nLines))
+		w.orders.Put(tx, w.orderKey(wh, d, oid), uint64(order))
+	})
+}
+
+// payment applies a payment to warehouse, district, and customer.
+func (w *Workload) payment(th *core.Thread, wh, d int) {
+	r := th.Rand()
+	cid := r.Intn(w.cfg.CustomersPerD)
+	amt := uint64(1 + r.Intn(5000))
+	wr := w.warehouses[wh]
+	dr := w.districts[wh*w.cfg.Districts+d]
+	th.Atomic(func(tx *core.Tx) {
+		tx.Store(wr+whYTD, tx.Load(wr+whYTD)+amt)
+		tx.Store(dr+diYTD, tx.Load(dr+diYTD)+amt)
+		recW, ok := w.customers.Get(tx, w.custKey(wh, d, cid))
+		if !ok {
+			return
+		}
+		rec := memdev.Addr(recW)
+		tx.Store(rec+cuBalance, tx.Load(rec+cuBalance)-amt)
+		tx.Store(rec+cuYTDPay, tx.Load(rec+cuYTDPay)+amt)
+	})
+}
+
+// Invariant checks for tests: warehouse YTD equals the sum of its
+// districts' YTDs (payments update both atomically).
+func (w *Workload) CheckYTDInvariant(th *core.Thread) bool {
+	ok := true
+	th.Atomic(func(tx *core.Tx) {
+		ok = true
+		for wh := 0; wh < w.cfg.Warehouses; wh++ {
+			var dsum uint64
+			for d := 0; d < w.cfg.Districts; d++ {
+				dsum += tx.Load(w.districts[wh*w.cfg.Districts+d] + diYTD)
+			}
+			if dsum != tx.Load(w.warehouses[wh]+whYTD) {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// Orders exposes the order index for verification.
+func (w *Workload) Orders() Index { return w.orders }
+
+// Config returns the workload configuration (after defaulting).
+func (w *Workload) Config() Config { return w.cfg }

@@ -1,0 +1,264 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func newTM(t testing.TB, threads int, w *Workload) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo: core.OrecLazy, Medium: core.MediumNVM, Domain: durability.ADR,
+		Threads: threads, HeapWords: w.HeapWords(), OrecSize: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestDefaultsAndNames(t *testing.T) {
+	w := New(Config{Kind: HashIndex})
+	if w.Name() != "TPCC (Hash Table)" {
+		t.Fatalf("name = %q", w.Name())
+	}
+	if New(Config{Kind: BTreeIndex}).Name() != "TPCC (B+Tree)" {
+		t.Fatal("btree name wrong")
+	}
+	cfg := w.Config()
+	if cfg.Districts != 10 || cfg.Items != 1024 || cfg.CustomersPerD != 64 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestWarehousesScaleWithThreads(t *testing.T) {
+	w := New(Config{Kind: HashIndex})
+	tm := newTM(t, 8, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	if got := w.Config().Warehouses; got != 8 {
+		t.Fatalf("warehouses = %d, want 8 (thread count)", got)
+	}
+
+	w2 := New(Config{Kind: HashIndex})
+	tm2 := newTM(t, 1, w2)
+	th2 := tm2.Thread(0)
+	defer th2.Detach()
+	w2.Setup(tm2, th2)
+	if got := w2.Config().Warehouses; got != 4 {
+		t.Fatalf("warehouses = %d, want minimum 4", got)
+	}
+}
+
+func TestKeysDisjoint(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4})
+	if w.stockKey(1, 5) == w.stockKey(2, 5) || w.stockKey(1, 5) == w.stockKey(1, 6) {
+		t.Fatal("stock keys collide")
+	}
+	if w.custKey(1, 2, 3) == w.custKey(1, 3, 2) {
+		t.Fatal("customer keys collide")
+	}
+	if w.orderKey(1, 2, 3) == w.orderKey(1, 3, 2) {
+		t.Fatal("order keys collide")
+	}
+}
+
+func runMix(t *testing.T, kind IndexKind) *Workload {
+	t.Helper()
+	w := New(Config{Kind: kind, Warehouses: 4, Items: 256, CustomersPerD: 16})
+	tm := newTM(t, 2, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	ths := []*core.Thread{tm.Thread(0), tm.Thread(1)}
+	var wg sync.WaitGroup
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for i := 0; i < 400; i++ {
+				w.Step(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	check := tm.Thread(0)
+	defer check.Detach()
+	if !w.CheckYTDInvariant(check) {
+		t.Fatalf("%v: warehouse YTD != sum of district YTDs", kind)
+	}
+	return w
+}
+
+func TestMixPreservesYTDInvariantHash(t *testing.T)  { runMix(t, HashIndex) }
+func TestMixPreservesYTDInvariantBTree(t *testing.T) { runMix(t, BTreeIndex) }
+
+func TestNewOrderInsertsOrders(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 128, CustomersPerD: 8})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	for i := 0; i < 50; i++ {
+		w.newOrder(th, 0, 3)
+	}
+	// Orders 1..50 for (0,3) must be retrievable.
+	th.Atomic(func(tx *core.Tx) {
+		for oid := uint64(1); oid <= 50; oid++ {
+			if _, ok := w.orders.Get(tx, w.orderKey(0, 3, oid)); !ok {
+				t.Fatalf("order %d missing from index", oid)
+			}
+		}
+	})
+}
+
+func TestPaymentMovesMoney(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 128, CustomersPerD: 8})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	for i := 0; i < 30; i++ {
+		w.payment(th, 1, 2)
+	}
+	th.Atomic(func(tx *core.Tx) {
+		ytd := tx.Load(w.warehouses[1] + whYTD)
+		if ytd == 0 {
+			t.Fatal("payments did not accumulate warehouse YTD")
+		}
+		dytd := tx.Load(w.districts[1*w.cfg.Districts+2] + diYTD)
+		if dytd != ytd {
+			t.Fatalf("district YTD %d != warehouse YTD %d for single-district payments", dytd, ytd)
+		}
+	})
+}
+
+func TestStockNeverNegative(t *testing.T) {
+	// newOrder replenishes quantity below 10 (the TPC-C rule), so
+	// quantities must stay in a sane band.
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 16, CustomersPerD: 8})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	for i := 0; i < 500; i++ {
+		w.newOrder(th, 0, 0)
+	}
+	th.Atomic(func(tx *core.Tx) {
+		for item := 0; item < 16; item++ {
+			recW, ok := w.stock.Get(tx, w.stockKey(0, item))
+			if !ok {
+				t.Fatalf("stock row %d missing", item)
+			}
+			qty := tx.Load(memdev.Addr(recW) + stQty)
+			if qty > 200 {
+				t.Fatalf("stock %d quantity %d out of band (underflow?)", item, qty)
+			}
+		}
+	})
+}
+
+func TestDeliveryMarksOrders(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 64, CustomersPerD: 8, Districts: 2})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	for i := 0; i < 10; i++ {
+		w.newOrder(th, 0, 0)
+	}
+	for i := 0; i < 3; i++ {
+		w.delivery(th, 0)
+	}
+	th.Atomic(func(tx *core.Tx) {
+		dr := w.districts[0]
+		if got := tx.Load(dr + diNextDeliv); got != 4 {
+			t.Fatalf("next delivery oid = %d, want 4 after 3 deliveries", got)
+		}
+		for oid := uint64(1); oid <= 3; oid++ {
+			orderW, ok := w.orders.Get(tx, w.orderKey(0, 0, oid))
+			if !ok {
+				t.Fatalf("order %d missing", oid)
+			}
+			if tx.Load(memdev.Addr(orderW)+orDelivered) != 1 {
+				t.Fatalf("order %d not marked delivered", oid)
+			}
+		}
+		orderW, _ := w.orders.Get(tx, w.orderKey(0, 0, 4))
+		if tx.Load(memdev.Addr(orderW)+orDelivered) != 0 {
+			t.Fatal("order 4 delivered early")
+		}
+	})
+}
+
+func TestDeliveryNeverPassesNextOID(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 64, CustomersPerD: 8, Districts: 1})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	for i := 0; i < 5; i++ {
+		w.delivery(th, 0) // nothing ordered yet: must be a no-op
+	}
+	th.Atomic(func(tx *core.Tx) {
+		if got := tx.Load(w.districts[0] + diNextDeliv); got != 1 {
+			t.Fatalf("delivery advanced past next order id: %d", got)
+		}
+	})
+}
+
+func TestOrderStatusIsReadOnly(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 64, CustomersPerD: 8})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	w.newOrder(th, 0, 0)
+	ro0 := th.Stats().ReadOnlyTxns
+	for i := 0; i < 20; i++ {
+		w.orderStatus(th, 0, 0)
+	}
+	if got := th.Stats().ReadOnlyTxns - ro0; got != 20 {
+		t.Fatalf("order-status produced %d read-only txns of 20", got)
+	}
+}
+
+func TestFullMixRuns(t *testing.T) {
+	w := New(Config{Kind: HashIndex, Warehouses: 4, Items: 64, CustomersPerD: 8, FullMix: true})
+	tm := newTM(t, 2, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	ths := []*core.Thread{tm.Thread(0), tm.Thread(1)}
+	var wg sync.WaitGroup
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for i := 0; i < 300; i++ {
+				w.Step(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	check := tm.Thread(0)
+	defer check.Detach()
+	if !w.CheckYTDInvariant(check) {
+		t.Fatal("full mix broke the YTD invariant")
+	}
+	if check.Stats().ReadOnlyTxns != 0 {
+		// the check thread itself has none; global read-only txns
+		// happened on workers — just ensure the mix committed
+		_ = check
+	}
+	if tm.Commits() < 600 {
+		t.Fatalf("commits = %d", tm.Commits())
+	}
+}

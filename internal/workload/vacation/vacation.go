@@ -1,0 +1,330 @@
+// Package vacation implements the Vacation travel-reservation
+// benchmark from STAMP, in the two contention configurations the
+// paper takes from WHISPER (§III-A): low and high contention.
+//
+// The system models a travel agency: three relations (cars, flights,
+// rooms) map item ids to {total, available, price} records, and a
+// customer relation accumulates reservations. The transaction mix is
+// STAMP's: MakeReservation (query several items, reserve the
+// cheapest available of each kind), DeleteCustomer (release a
+// customer's reservations), and UpdateTables (add/remove items).
+// Contention is controlled by the queried fraction of the relations
+// and the number of queries per transaction.
+package vacation
+
+import (
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+	"goptm/internal/pstruct/btree"
+)
+
+// Contention selects the paper's two configurations.
+type Contention int
+
+// Contention levels.
+const (
+	Low Contention = iota
+	High
+)
+
+// String names the contention level as the paper's figures do.
+func (c Contention) String() string {
+	if c == Low {
+		return "low"
+	}
+	return "high"
+}
+
+// Reservable record layout (words).
+const (
+	resTotal = 0
+	resAvail = 1
+	resPrice = 2
+	resWords = 8
+)
+
+// Customer record layout: a small fixed reservation list.
+const (
+	custCount    = 0
+	custResStart = 1
+	custMaxRes   = 6
+	custWords    = 8
+)
+
+// Relation ids.
+const (
+	relCar = iota
+	relFlight
+	relRoom
+	numRelations
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Contention Contention
+	Relations  int // items per relation; 0 selects by contention
+	Customers  int // 0 selects Relations
+	Queries    int // items examined per reservation; 0 selects by contention
+	QueryRange int // fraction of relation queried, percent; 0 selects by contention
+}
+
+// Workload drives the reservation system.
+type Workload struct {
+	cfg       Config
+	tables    [numRelations]btree.Tree
+	customers btree.Tree
+}
+
+// New returns a Vacation workload in the given configuration.
+func New(cfg Config) *Workload {
+	if cfg.Relations == 0 {
+		if cfg.Contention == High {
+			cfg.Relations = 1024
+		} else {
+			cfg.Relations = 16384
+		}
+	}
+	if cfg.Customers == 0 {
+		cfg.Customers = cfg.Relations
+	}
+	if cfg.Queries == 0 {
+		if cfg.Contention == High {
+			cfg.Queries = 8 // STAMP -n4 doubled per relation sweep
+		} else {
+			cfg.Queries = 2
+		}
+	}
+	if cfg.QueryRange == 0 {
+		if cfg.Contention == High {
+			cfg.QueryRange = 10 // hot 10% of the relations
+		} else {
+			cfg.QueryRange = 90
+		}
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "Vacation (" + w.cfg.Contention.String() + ")" }
+
+// HeapWords sizes the heap.
+func (w *Workload) HeapWords() uint64 {
+	rows := uint64(numRelations*w.cfg.Relations + w.cfg.Customers)
+	return rows*48 + (1 << 20)
+}
+
+// Setup builds and populates the four relations.
+func (w *Workload) Setup(tm *core.TM, th *core.Thread) {
+	th.Atomic(func(tx *core.Tx) {
+		for rel := 0; rel < numRelations; rel++ {
+			w.tables[rel] = btree.Create(tx)
+		}
+		w.customers = btree.Create(tx)
+	})
+	r := th.Rand()
+	for rel := 0; rel < numRelations; rel++ {
+		rel := rel
+		const batch = 8
+		for id0 := 0; id0 < w.cfg.Relations; id0 += batch {
+			lo, hi := id0, min(id0+batch, w.cfg.Relations)
+			th.Atomic(func(tx *core.Tx) {
+				for id := lo; id < hi; id++ {
+					rec := tx.Alloc(resWords)
+					total := uint64(100 + r.Intn(300))
+					tx.Store(rec+resTotal, total)
+					tx.Store(rec+resAvail, total)
+					tx.Store(rec+resPrice, uint64(50+r.Intn(500)))
+					w.tables[rel].Insert(tx, uint64(id), uint64(rec))
+				}
+			})
+		}
+	}
+	const batch = 8
+	for c0 := 0; c0 < w.cfg.Customers; c0 += batch {
+		lo, hi := c0, min(c0+batch, w.cfg.Customers)
+		th.Atomic(func(tx *core.Tx) {
+			for c := lo; c < hi; c++ {
+				rec := tx.Alloc(custWords)
+				tx.Store(rec+custCount, 0)
+				w.customers.Insert(tx, uint64(c), uint64(rec))
+			}
+		})
+	}
+}
+
+// hotID draws an item id from the configured hot fraction of a
+// relation.
+func (w *Workload) hotID(th *core.Thread) uint64 {
+	span := uint64(w.cfg.Relations) * uint64(w.cfg.QueryRange) / 100
+	if span == 0 {
+		span = 1
+	}
+	return th.Rand().Uint64n(span)
+}
+
+// interTxnWork is the non-transactional client logic between
+// transactions (virtual ns). Vacation is the one workload in the
+// paper with significant work outside transactions, which is why its
+// eADR gains are muted (§III-C).
+const interTxnWork = 2000
+
+// Step runs one transaction of STAMP's mix: ~90% reservations (for
+// high contention, STAMP's -u90), 5% delete-customer, 5% table
+// updates.
+func (w *Workload) Step(th *core.Thread) {
+	th.Compute(interTxnWork)
+	r := th.Rand()
+	switch p := r.Intn(100); {
+	case p < 90:
+		w.makeReservation(th)
+	case p < 95:
+		w.deleteCustomer(th)
+	default:
+		w.updateTables(th)
+	}
+}
+
+// makeReservation queries Queries items per relation, picks the
+// cheapest available item of each relation, and reserves it for a
+// random customer.
+func (w *Workload) makeReservation(th *core.Thread) {
+	r := th.Rand()
+	cid := r.Uint64n(uint64(w.cfg.Customers))
+	ids := make([][]uint64, numRelations)
+	for rel := range ids {
+		ids[rel] = make([]uint64, w.cfg.Queries)
+		for q := range ids[rel] {
+			ids[rel][q] = w.hotID(th)
+		}
+	}
+	th.Atomic(func(tx *core.Tx) {
+		custW, ok := w.customers.Lookup(tx, cid)
+		if !ok {
+			return
+		}
+		cust := memdev.Addr(custW)
+		for rel := 0; rel < numRelations; rel++ {
+			var best memdev.Addr
+			bestPrice := ^uint64(0)
+			for _, id := range ids[rel] {
+				recW, ok := w.tables[rel].Lookup(tx, id)
+				if !ok {
+					continue
+				}
+				rec := memdev.Addr(recW)
+				if tx.Load(rec+resAvail) == 0 {
+					continue
+				}
+				if p := tx.Load(rec + resPrice); p < bestPrice {
+					bestPrice = p
+					best = rec
+				}
+			}
+			if best == 0 {
+				continue
+			}
+			n := tx.Load(cust + custCount)
+			if n >= custMaxRes {
+				continue
+			}
+			tx.Store(best+resAvail, tx.Load(best+resAvail)-1)
+			tx.Store(cust+custResStart+memdev.Addr(n), uint64(best))
+			tx.Store(cust+custCount, n+1)
+		}
+	})
+}
+
+// deleteCustomer releases all of a customer's reservations.
+func (w *Workload) deleteCustomer(th *core.Thread) {
+	cid := th.Rand().Uint64n(uint64(w.cfg.Customers))
+	th.Atomic(func(tx *core.Tx) {
+		custW, ok := w.customers.Lookup(tx, cid)
+		if !ok {
+			return
+		}
+		cust := memdev.Addr(custW)
+		n := tx.Load(cust + custCount)
+		for i := uint64(0); i < n; i++ {
+			rec := memdev.Addr(tx.Load(cust + custResStart + memdev.Addr(i)))
+			tx.Store(rec+resAvail, tx.Load(rec+resAvail)+1)
+		}
+		tx.Store(cust+custCount, 0)
+	})
+}
+
+// updateTables is the STAMP administrative transaction: mostly it
+// re-prices or resizes an item, but occasionally it adds a brand-new
+// item to a relation or retires one with no outstanding reservations
+// (exercising index insert/delete under concurrency, as STAMP does).
+func (w *Workload) updateTables(th *core.Thread) {
+	r := th.Rand()
+	rel := r.Intn(numRelations)
+	switch r.Intn(10) {
+	case 0: // add an item beyond the initial id range
+		id := uint64(w.cfg.Relations) + r.Uint64n(uint64(w.cfg.Relations))
+		total := uint64(100 + r.Intn(300))
+		price := uint64(50 + r.Intn(500))
+		th.Atomic(func(tx *core.Tx) {
+			if _, exists := w.tables[rel].Lookup(tx, id); exists {
+				return
+			}
+			rec := tx.Alloc(resWords)
+			tx.Store(rec+resTotal, total)
+			tx.Store(rec+resAvail, total)
+			tx.Store(rec+resPrice, price)
+			w.tables[rel].Insert(tx, id, uint64(rec))
+		})
+	case 1: // retire an item if nobody holds a reservation on it
+		id := w.hotID(th)
+		th.Atomic(func(tx *core.Tx) {
+			recW, ok := w.tables[rel].Lookup(tx, id)
+			if !ok {
+				return
+			}
+			rec := memdev.Addr(recW)
+			if tx.Load(rec+resAvail) != tx.Load(rec+resTotal) {
+				return // outstanding reservations point at this record
+			}
+			w.tables[rel].Delete(tx, id)
+			tx.Free(rec)
+		})
+	default: // re-price / resize
+		id := w.hotID(th)
+		grow := r.Intn(2) == 0
+		th.Atomic(func(tx *core.Tx) {
+			recW, ok := w.tables[rel].Lookup(tx, id)
+			if !ok {
+				return
+			}
+			rec := memdev.Addr(recW)
+			if grow {
+				tx.Store(rec+resTotal, tx.Load(rec+resTotal)+10)
+				tx.Store(rec+resAvail, tx.Load(rec+resAvail)+10)
+			} else if tx.Load(rec+resAvail) >= 10 {
+				tx.Store(rec+resTotal, tx.Load(rec+resTotal)-10)
+				tx.Store(rec+resAvail, tx.Load(rec+resAvail)-10)
+			}
+		})
+	}
+}
+
+// CheckInvariant verifies available <= total for every item.
+func (w *Workload) CheckInvariant(th *core.Thread) bool {
+	ok := true
+	th.Atomic(func(tx *core.Tx) {
+		ok = true
+		for rel := 0; rel < numRelations; rel++ {
+			for id := uint64(0); id < uint64(w.cfg.Relations); id++ {
+				recW, found := w.tables[rel].Lookup(tx, id)
+				if !found {
+					continue
+				}
+				rec := memdev.Addr(recW)
+				if tx.Load(rec+resAvail) > tx.Load(rec+resTotal) {
+					ok = false
+				}
+			}
+		}
+	})
+	return ok
+}

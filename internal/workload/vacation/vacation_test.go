@@ -1,0 +1,217 @@
+package vacation
+
+import (
+	"sync"
+	"testing"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+func newTM(t testing.TB, threads int, w *Workload) *core.TM {
+	t.Helper()
+	tm, err := core.New(core.Config{
+		Algo: core.OrecLazy, Medium: core.MediumNVM, Domain: durability.ADR,
+		Threads: threads, HeapWords: w.HeapWords(), OrecSize: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestContentionDefaults(t *testing.T) {
+	lo := New(Config{Contention: Low})
+	hi := New(Config{Contention: High})
+	if lo.cfg.Relations <= hi.cfg.Relations {
+		t.Fatal("low contention must use larger relations")
+	}
+	if lo.cfg.Queries >= hi.cfg.Queries {
+		t.Fatal("high contention must query more items")
+	}
+	if lo.cfg.QueryRange <= hi.cfg.QueryRange {
+		t.Fatal("high contention must focus a smaller hot range")
+	}
+	if lo.Name() != "Vacation (low)" || hi.Name() != "Vacation (high)" {
+		t.Fatalf("names: %q / %q", lo.Name(), hi.Name())
+	}
+}
+
+func TestSetupPopulatesRelations(t *testing.T) {
+	w := New(Config{Contention: Low, Relations: 128, Customers: 64})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	th.Atomic(func(tx *core.Tx) {
+		for rel := 0; rel < numRelations; rel++ {
+			for _, id := range []uint64{0, 63, 127} {
+				recW, ok := w.tables[rel].Lookup(tx, id)
+				if !ok {
+					t.Fatalf("relation %d item %d missing", rel, id)
+				}
+				rec := memdev.Addr(recW)
+				total := tx.Load(rec + resTotal)
+				avail := tx.Load(rec + resAvail)
+				if total == 0 || avail != total {
+					t.Fatalf("item %d populated wrong: total=%d avail=%d", id, total, avail)
+				}
+			}
+		}
+		if _, ok := w.customers.Lookup(tx, 63); !ok {
+			t.Fatal("customer 63 missing")
+		}
+	})
+}
+
+func TestReservationDecrementsAvailability(t *testing.T) {
+	w := New(Config{Contention: High, Relations: 16, Customers: 4, Queries: 4, QueryRange: 100})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	var before uint64
+	th.Atomic(func(tx *core.Tx) {
+		before = 0
+		for rel := 0; rel < numRelations; rel++ {
+			for id := uint64(0); id < 16; id++ {
+				recW, _ := w.tables[rel].Lookup(tx, id)
+				before += tx.Load(memdev.Addr(recW) + resAvail)
+			}
+		}
+	})
+	w.makeReservation(th)
+	var after uint64
+	var resCount uint64
+	th.Atomic(func(tx *core.Tx) {
+		after = 0
+		for rel := 0; rel < numRelations; rel++ {
+			for id := uint64(0); id < 16; id++ {
+				recW, _ := w.tables[rel].Lookup(tx, id)
+				after += tx.Load(memdev.Addr(recW) + resAvail)
+			}
+		}
+		resCount = 0
+		for c := uint64(0); c < 4; c++ {
+			custW, _ := w.customers.Lookup(tx, c)
+			resCount += tx.Load(memdev.Addr(custW) + custCount)
+		}
+	})
+	if before-after != resCount {
+		t.Fatalf("availability dropped by %d but customers hold %d reservations", before-after, resCount)
+	}
+	if resCount == 0 {
+		t.Fatal("reservation reserved nothing (expected up to one per relation)")
+	}
+}
+
+func TestDeleteCustomerReleasesAll(t *testing.T) {
+	w := New(Config{Contention: High, Relations: 16, Customers: 1, Queries: 4, QueryRange: 100})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	for i := 0; i < 2; i++ {
+		w.makeReservation(th)
+	}
+	w.deleteCustomer(th)
+	th.Atomic(func(tx *core.Tx) {
+		custW, _ := w.customers.Lookup(tx, 0)
+		if n := tx.Load(memdev.Addr(custW) + custCount); n != 0 {
+			t.Fatalf("customer still holds %d reservations", n)
+		}
+		// Everything back to full availability.
+		for rel := 0; rel < numRelations; rel++ {
+			for id := uint64(0); id < 16; id++ {
+				recW, _ := w.tables[rel].Lookup(tx, id)
+				rec := memdev.Addr(recW)
+				if tx.Load(rec+resAvail) != tx.Load(rec+resTotal) {
+					t.Fatalf("item %d/%d not fully released", rel, id)
+				}
+			}
+		}
+	})
+}
+
+func TestConcurrentMixKeepsInvariant(t *testing.T) {
+	w := New(Config{Contention: High, Relations: 64, Customers: 32})
+	tm := newTM(t, 4, w)
+	setup := tm.Thread(0)
+	w.Setup(tm, setup)
+	setup.Detach()
+	ths := make([]*core.Thread, 4)
+	for i := range ths {
+		ths[i] = tm.Thread(i)
+	}
+	var wg sync.WaitGroup
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for i := 0; i < 250; i++ {
+				w.Step(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	check := tm.Thread(0)
+	defer check.Detach()
+	if !w.CheckInvariant(check) {
+		t.Fatal("available > total after concurrent mix")
+	}
+}
+
+func TestStepAdvancesInterTxnWork(t *testing.T) {
+	// Vacation is the paper's workload with significant work between
+	// transactions (mutes eADR gains); Step must charge it.
+	w := New(Config{Contention: Low, Relations: 64, Customers: 16})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	t0 := th.Now()
+	w.Step(th)
+	if th.Now()-t0 < interTxnWork {
+		t.Fatal("Step did not charge inter-transaction work")
+	}
+}
+
+func TestUpdateTablesAddAndRetire(t *testing.T) {
+	w := New(Config{Contention: High, Relations: 32, Customers: 8})
+	tm := newTM(t, 1, w)
+	th := tm.Thread(0)
+	defer th.Detach()
+	w.Setup(tm, th)
+	// Drive many administrative transactions; some add items beyond
+	// the initial range, some retire unreserved ones.
+	for i := 0; i < 400; i++ {
+		w.updateTables(th)
+	}
+	var beyond, missing int
+	th.Atomic(func(tx *core.Tx) {
+		beyond, missing = 0, 0
+		for rel := 0; rel < numRelations; rel++ {
+			for id := uint64(32); id < 64; id++ {
+				if _, ok := w.tables[rel].Lookup(tx, id); ok {
+					beyond++
+				}
+			}
+			for id := uint64(0); id < 32; id++ {
+				if _, ok := w.tables[rel].Lookup(tx, id); !ok {
+					missing++
+				}
+			}
+		}
+	})
+	if beyond == 0 {
+		t.Fatal("no items were added beyond the initial range")
+	}
+	if missing == 0 {
+		t.Fatal("no items were retired")
+	}
+	if !w.CheckInvariant(th) {
+		t.Fatal("invariant broken by add/retire")
+	}
+}

@@ -1,0 +1,25 @@
+// Package workload defines the interface the benchmark harness uses
+// to drive the paper's applications (TATP, B+Tree microbenchmarks,
+// TPCC, Vacation, memcached-style KV) against the PTM.
+package workload
+
+import "goptm/internal/core"
+
+// Workload is one benchmark application.
+//
+// Setup runs once on a setup thread to build and populate the data
+// structures (its transactions are excluded from measurement). Step
+// runs one operation of the workload's mix — typically exactly one
+// transaction — on a worker thread; the harness calls it in a loop
+// until the measurement interval ends.
+type Workload interface {
+	Name() string
+	Setup(tm *core.TM, th *core.Thread)
+	Step(th *core.Thread)
+}
+
+// HeapSizer is implemented by workloads that need a specific heap
+// size; the harness consults it when building the TM config.
+type HeapSizer interface {
+	HeapWords() uint64
+}
