@@ -12,6 +12,12 @@
 // Output is an aligned text table per panel; -v streams per-point
 // progress. Quick mode (default) completes in minutes; -full runs the
 // paper's {1,2,4,8,16,32} thread axis with longer windows.
+//
+// Observability:
+//
+//	ptmbench -fig 4 -breakdown     # append per-phase overhead tables
+//	ptmbench -fig 3 -trace out.json # trace ONE tiny point of the figure
+//	                                # and write Perfetto JSON (no sweep)
 package main
 
 import (
@@ -20,7 +26,12 @@ import (
 	"io"
 	"os"
 
+	"goptm/internal/core"
+	"goptm/internal/durability"
 	"goptm/internal/harness"
+	"goptm/internal/obs"
+	"goptm/internal/workload"
+	"goptm/internal/workload/kvstore"
 )
 
 func main() {
@@ -29,10 +40,24 @@ func main() {
 	full := flag.Bool("full", false, "full paper scale (slower) instead of quick scale")
 	verbose := flag.Bool("v", false, "stream per-point progress")
 	csvPath := flag.String("csv", "", "also append machine-readable CSV rows to this file")
+	breakdown := flag.Bool("breakdown", false, "print per-phase overhead decomposition tables (attaches the breakdown recorder)")
+	tracePath := flag.String("trace", "", "run one small traced measurement of the figure and write Perfetto/Chrome trace-event JSON to this file (skips the full sweep)")
 	flag.Parse()
 
+	if *tracePath != "" {
+		n := *fig
+		if n == 0 {
+			n = 4
+		}
+		if err := runTraced(n, *tracePath, *breakdown); err != nil {
+			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if !*all && (*fig < 3 || *fig > 8 || *fig == 5) {
-		fmt.Fprintln(os.Stderr, "usage: ptmbench -fig {3|4|6|7|8} [-full] [-v], or -all")
+		fmt.Fprintln(os.Stderr, "usage: ptmbench -fig {3|4|6|7|8} [-full] [-v] [-breakdown] [-trace out.json], or -all")
 		os.Exit(2)
 	}
 
@@ -40,6 +65,7 @@ func main() {
 	if *full {
 		p = harness.FullParams()
 	}
+	p.Observe = *breakdown
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
@@ -57,7 +83,7 @@ func main() {
 	}
 
 	run := func(n int) {
-		if err := runFigure(n, p, progress, csvOut); err != nil {
+		if err := runFigure(n, p, progress, csvOut, *breakdown); err != nil {
 			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -71,9 +97,12 @@ func main() {
 	run(*fig)
 }
 
-func runFigure(n int, p harness.Params, progress, csvOut io.Writer) error {
+func runFigure(n int, p harness.Params, progress, csvOut io.Writer, breakdown bool) error {
 	emit := func(fig harness.Figure) error {
 		fig.Print(os.Stdout)
+		if breakdown {
+			fig.PrintBreakdown(os.Stdout)
+		}
 		if csvOut != nil {
 			return fig.WriteCSV(csvOut)
 		}
@@ -125,4 +154,60 @@ func runFigure(n int, p harness.Params, progress, csvOut io.Writer) error {
 		return fmt.Errorf("unknown figure %d", n)
 	}
 	return nil
+}
+
+// runTraced measures one small representative point of figure n with
+// full event tracing and writes the Perfetto JSON to path. One traced
+// point keeps traces loadable and the CI smoke step fast; sweeps stay
+// untraced.
+func runTraced(n int, path string, breakdown bool) error {
+	wl, cell, err := tracePoint(n)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	p := harness.QuickParams()
+	rc := harness.RunConfig{Threads: 4, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS}
+	res, err := harness.RunTraced(cell, rc, wl.Make(p), f)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("traced %s on %s: %d commits, %d aborts, %.0f ops/s -> %s\n",
+		wl.Name, cell.Label(), res.Commits, res.Aborts, res.ThroughputOps, path)
+	if breakdown {
+		obs.WriteTable(os.Stdout, []string{cell.Label()}, []*obs.Breakdown{&res.Breakdown})
+	}
+	return nil
+}
+
+// tracePoint picks the workload and cell the traced point of figure n
+// runs: the figure's first panel on a representative Optane cell.
+func tracePoint(n int) (harness.WorkloadMaker, harness.Cell, error) {
+	adrRedo := harness.Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy}
+	switch n {
+	case 3:
+		return harness.PanelWorkloads()[0], adrRedo, nil
+	case 4:
+		return harness.TATPWorkload(), adrRedo, nil
+	case 6:
+		return harness.PanelWorkloads()[0],
+			harness.Cell{Medium: core.MediumNVM, Domain: durability.PDRAM, Algo: core.OrecLazy}, nil
+	case 7:
+		return harness.TATPWorkload(),
+			harness.Cell{Medium: core.MediumNVM, Domain: durability.PDRAM, Algo: core.OrecLazy}, nil
+	case 8:
+		return harness.WorkloadMaker{Name: "kvstore", Make: func(p harness.Params) workload.Workload {
+			return kvstore.New(kvstore.Config{Items: 1024})
+		}}, adrRedo, nil
+	default:
+		return harness.WorkloadMaker{}, harness.Cell{}, fmt.Errorf("no traceable point for figure %d", n)
+	}
 }

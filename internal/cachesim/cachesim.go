@@ -281,3 +281,18 @@ func (h *Hierarchy) HitCounts() [5]int64 {
 	defer h.statMu.Unlock()
 	return h.hits
 }
+
+// HitRate reports the fraction of accesses served by some cache level
+// (i.e. not by memory); 0 before any access.
+func (h *Hierarchy) HitRate() float64 {
+	h.statMu.Lock()
+	defer h.statMu.Unlock()
+	var total int64
+	for _, c := range h.hits {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(h.hits[Miss])/float64(total)
+}

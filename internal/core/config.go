@@ -30,6 +30,7 @@ import (
 
 	"goptm/internal/durability"
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 	"goptm/internal/wpq"
 )
 
@@ -127,6 +128,12 @@ type Config struct {
 	// log-write strategy the reference runtime supports. Meaningful
 	// for OrecLazy under ADR.
 	NTStoreLog bool
+
+	// Recorder attaches the observability layer: phase-breakdown
+	// accounting and (when the recorder traces) Perfetto span/counter
+	// events, threaded through every layer down to the memory system.
+	// nil disables observability at zero cost.
+	Recorder *obs.Recorder
 }
 
 // BackoffPolicy selects what a thread does after an aborted attempt.

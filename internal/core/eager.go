@@ -2,6 +2,7 @@ package core
 
 import (
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 )
 
 // This file implements "orec-eager": the undo-logging PTM with
@@ -38,12 +39,12 @@ func (tx *Tx) loadEager(a memdev.Addr) uint64 {
 			if versionOf(v1) == th.owner {
 				return th.ctx.Load(a) // own lock: in-place value is ours
 			}
-			tx.Abort()
+			abortWith(AbortLockConflict)
 		}
 		val := th.ctx.Load(a)
 		v2 := t.Load(idx)
 		if v1 != v2 {
-			tx.Abort()
+			abortWith(AbortValidation)
 		}
 		if versionOf(v1) <= tx.rv {
 			th.rset = append(th.rset, readRec{idx: idx, ver: versionOf(v1)})
@@ -52,7 +53,7 @@ func (tx *Tx) loadEager(a memdev.Addr) uint64 {
 		// See loadLazy: retry the read after a successful extension,
 		// or a racing commit could slip a stale value past validation.
 		if !tx.extend() {
-			tx.Abort()
+			abortWith(AbortValidation)
 		}
 	}
 }
@@ -68,16 +69,16 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 	th.ctx.MetaOp()
 	if lockedWord(cur) {
 		if versionOf(cur) != th.owner {
-			tx.Abort()
+			abortWith(AbortLockConflict)
 		}
 	} else {
 		if versionOf(cur) > tx.rv {
 			if !tx.extend() {
-				tx.Abort()
+				abortWith(AbortValidation)
 			}
 		}
 		if !t.TryLock(idx, th.owner, versionOf(cur)) {
-			tx.Abort()
+			abortWith(AbortLockConflict)
 		}
 		th.ctx.MetaOp()
 		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(cur)})
@@ -92,6 +93,7 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 	th.undo = append(th.undo, undoRec{addr: a, old: old})
 
 	// Durable undo record, ordered before the in-place update.
+	logStart := th.ctx.Now()
 	ea := th.entryAddr(i)
 	th.ctx.Store(ea, uint64(a))
 	th.ctx.Store(ea+1, old)
@@ -99,12 +101,15 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 	th.ctx.Store(th.desc+descCountOff, uint64(i+1))
 	th.ctx.Store(th.desc+descStatusOff, statusUndoActive)
 	th.ctx.CLWB(th.desc)
+	th.rec.Span(obs.PhaseDrain, logStart, th.ctx.Now())
 	th.fence() // the O(W) fence
 	th.tm.hook("eager:post-log", th)
 
 	// In-place speculative update.
+	updateStart := th.ctx.Now()
 	th.ctx.Store(a, v)
 	th.ctx.CLWB(a)
+	th.rec.Span(obs.PhaseDrain, updateStart, th.ctx.Now())
 }
 
 // commitEager finishes an undo transaction.
@@ -117,18 +122,24 @@ func (th *Thread) commitEager(tx *Tx) {
 	// discarded.
 	th.fence()
 
+	validateStart := th.ctx.Now()
 	if !th.validateReadSet() {
-		th.abortCommit()
+		th.abortCommit(AbortValidation)
 	}
+	th.rec.Span(obs.PhaseValidate, validateStart, th.ctx.Now())
 	th.tm.hook("eager:pre-clear", th)
 
+	commitStart := th.ctx.Now()
 	th.ctx.Store(th.desc+descStatusOff, statusIdle)
 	th.ctx.CLWB(th.desc)
+	th.rec.Span(obs.PhaseCommit, commitStart, th.ctx.Now())
 	th.fence()
 
 	wv := th.tm.orecs.IncClock()
 	th.ctx.MetaOp()
+	publishStart := th.ctx.Now()
 	th.releaseLocks(wv)
+	th.rec.Span(obs.PhaseCommit, publishStart, th.ctx.Now())
 	th.noteLogHighWater(len(th.undo))
 }
 

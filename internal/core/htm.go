@@ -2,6 +2,7 @@ package core
 
 import (
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 )
 
 // This file implements AlgoHTM: a TSX-style hardware-transactional
@@ -54,12 +55,12 @@ func (tx *Tx) loadHTM(a memdev.Addr) uint64 {
 	idx := t.Index(a)
 	v1 := t.Load(idx)
 	if lockedWord(v1) {
-		tx.Abort()
+		abortWith(AbortLockConflict)
 	}
 	val := th.ctx.Load(a)
 	v2 := t.Load(idx)
 	if v1 != v2 || versionOf(v1) > tx.rv {
-		tx.Abort()
+		abortWith(AbortValidation)
 	}
 	th.rset = append(th.rset, readRec{idx: idx, ver: versionOf(v1)})
 	return val
@@ -91,6 +92,7 @@ func (th *Thread) commitHTM(tx *Tx) {
 		return
 	}
 	t := th.tm.orecs
+	validateStart := th.ctx.Now()
 	seen := make(map[int]bool, len(th.wlog))
 	for _, e := range th.wlog {
 		idx := t.Index(e.addr)
@@ -100,22 +102,25 @@ func (th *Thread) commitHTM(tx *Tx) {
 		seen[idx] = true
 		v := t.Load(idx)
 		if lockedWord(v) || versionOf(v) > tx.rv {
-			th.abortCommit()
+			th.abortCommit(AbortLockConflict)
 		}
 		if !t.TryLock(idx, th.owner, versionOf(v)) {
-			th.abortCommit()
+			th.abortCommit(AbortLockConflict)
 		}
 		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(v)})
 		th.lockVer[idx] = versionOf(v)
 	}
 	if !th.validateReadSet() {
-		th.abortCommit()
+		th.abortCommit(AbortValidation)
 	}
+	th.rec.Span(obs.PhaseValidate, validateStart, th.ctx.Now())
+	commitStart := th.ctx.Now()
 	wv := t.IncClock()
 	for _, e := range th.wlog {
 		th.ctx.Store(e.addr, e.val)
 	}
 	th.ctx.Compute(htmCommitCost)
 	th.releaseLocks(wv)
+	th.rec.Span(obs.PhaseCommit, commitStart, th.ctx.Now())
 	th.noteLogHighWater(len(th.wlog))
 }

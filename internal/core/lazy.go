@@ -2,6 +2,7 @@ package core
 
 import (
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 )
 
 // This file implements "orec-lazy": the redo-logging PTM with
@@ -47,12 +48,12 @@ func (tx *Tx) loadLazy(a memdev.Addr) uint64 {
 		v1 := t.Load(idx)
 		th.ctx.MetaOp()
 		if lockedWord(v1) {
-			tx.Abort()
+			abortWith(AbortLockConflict)
 		}
 		val := th.ctx.Load(a)
 		v2 := t.Load(idx)
 		if v1 != v2 {
-			tx.Abort()
+			abortWith(AbortValidation)
 		}
 		if versionOf(v1) <= tx.rv {
 			th.rset = append(th.rset, readRec{idx: idx, ver: versionOf(v1)})
@@ -64,7 +65,7 @@ func (tx *Tx) loadLazy(a memdev.Addr) uint64 {
 		// committed between the v2 check and the extension slip past
 		// commit-time validation (a lost update).
 		if !tx.extend() {
-			tx.Abort()
+			abortWith(AbortValidation)
 		}
 	}
 }
@@ -96,12 +97,14 @@ func (tx *Tx) storeLazy(a memdev.Addr, v uint64) {
 	th.wlog = append(th.wlog, redoEntry{addr: a, val: v})
 	th.wpos[a] = i
 	ea := th.entryAddr(i)
+	drainStart := th.ctx.Now()
 	if th.tm.cfg.NTStoreLog && th.tm.cfg.Domain.RequiresFlush() {
 		// Non-temporal log appends: durable at WPQ accept, nothing
 		// left to flush at commit.
 		th.ctx.NTStore(ea, uint64(a))
 		th.ctx.NTStore(ea+1, v)
 		th.flushed = i + 1
+		th.rec.Span(obs.PhaseDrain, drainStart, th.ctx.Now())
 		return
 	}
 	th.ctx.Store(ea, uint64(a))
@@ -114,6 +117,7 @@ func (tx *Tx) storeLazy(a memdev.Addr, v uint64) {
 		th.ctx.CLWB(ea)
 		th.flushed = i + 1
 	}
+	th.rec.Span(obs.PhaseDrain, drainStart, th.ctx.Now())
 }
 
 // entriesPerLine reports whether n redo entries end exactly on a
@@ -136,6 +140,7 @@ func (th *Thread) commitLazy(tx *Tx) {
 
 	// 1. Acquire write-set orecs. Distinct addresses can share an
 	// orec; seen dedups so a transaction never self-conflicts.
+	validateStart := th.ctx.Now()
 	seen := make(map[int]bool, len(th.wlog))
 	for _, e := range th.wlog {
 		idx := t.Index(e.addr)
@@ -146,10 +151,10 @@ func (th *Thread) commitLazy(tx *Tx) {
 		v := t.Load(idx)
 		th.ctx.MetaOp()
 		if lockedWord(v) || versionOf(v) > tx.rv {
-			th.abortCommit()
+			th.abortCommit(AbortLockConflict)
 		}
 		if !t.TryLock(idx, th.owner, versionOf(v)) {
-			th.abortCommit()
+			th.abortCommit(AbortLockConflict)
 		}
 		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(v)})
 		th.lockVer[idx] = versionOf(v)
@@ -157,12 +162,14 @@ func (th *Thread) commitLazy(tx *Tx) {
 
 	// Validate the read set now that the write set is locked.
 	if !th.validateReadSet() {
-		th.abortCommit()
+		th.abortCommit(AbortValidation)
 	}
+	th.rec.Span(obs.PhaseValidate, validateStart, th.ctx.Now())
 
 	// 2. Make the redo log durable: everything not yet flushed
 	// incrementally (all of it under BatchedFlush, just the partial
 	// tail line otherwise).
+	drainStart := th.ctx.Now()
 	start := th.flushed
 	if th.tm.cfg.BatchedFlush {
 		start = 0
@@ -170,13 +177,16 @@ func (th *Thread) commitLazy(tx *Tx) {
 	for e := start; e < len(th.wlog); e += memdev.WordsPerLine / 2 {
 		th.ctx.CLWB(th.entryAddr(e))
 	}
+	th.rec.Span(obs.PhaseDrain, drainStart, th.ctx.Now())
 	th.fence() // F1: log entries before marker
 	th.tm.hook("lazy:pre-marker", th)
 
 	// 3. Durable commit point.
+	commitStart := th.ctx.Now()
 	th.ctx.Store(th.desc+descCountOff, uint64(len(th.wlog)))
 	th.ctx.Store(th.desc+descStatusOff, statusRedoCommitted)
 	th.ctx.CLWB(th.desc)
+	th.rec.Span(obs.PhaseCommit, commitStart, th.ctx.Now())
 	th.fence() // F2: marker durable before writeback
 	th.tm.hook("lazy:post-marker", th)
 
@@ -184,6 +194,7 @@ func (th *Thread) commitLazy(tx *Tx) {
 	th.ctx.MetaOp()
 
 	// 4. Writeback.
+	writebackStart := th.ctx.Now()
 	for i, e := range th.wlog {
 		th.ctx.Store(e.addr, e.val)
 		if i == len(th.wlog)/2 {
@@ -198,20 +209,23 @@ func (th *Thread) commitLazy(tx *Tx) {
 			th.ctx.CLWB(e.addr)
 		}
 	}
+	th.rec.Span(obs.PhaseDrain, writebackStart, th.ctx.Now())
 	th.fence() // F3: data durable before log reclaim
 	th.tm.hook("lazy:post-writeback", th)
 
 	// 5. Reclaim the log.
+	reclaimStart := th.ctx.Now()
 	th.ctx.Store(th.desc+descStatusOff, statusIdle)
 	th.ctx.CLWB(th.desc)
 
 	// 6. Publish.
 	th.releaseLocks(wv)
+	th.rec.Span(obs.PhaseCommit, reclaimStart, th.ctx.Now())
 	th.noteLogHighWater(len(th.wlog))
 }
 
 // abortCommit unwinds a failed commit; the abort path releases any
 // locks acquired so far (see onAbort).
-func (th *Thread) abortCommit() {
-	panic(abortSignal{})
+func (th *Thread) abortCommit(r AbortReason) {
+	abortWith(r)
 }

@@ -14,6 +14,9 @@ import (
 type MachineStats struct {
 	Commits int64
 	Aborts  int64
+	// AbortReasons classifies Aborts by cause, indexed by AbortReason
+	// (lock conflict, validation failure, HTM capacity, explicit).
+	AbortReasons [NumAbortReasons]int64
 
 	NVMStores  int64 // stores to NVM addresses
 	WPQAccepts int64 // line flushes accepted by the controller
@@ -32,6 +35,7 @@ func (tm *TM) MachineStats() MachineStats {
 	var ms MachineStats
 	ms.Commits = tm.Commits()
 	ms.Aborts = tm.Aborts()
+	ms.AbortReasons = tm.AbortsByReason()
 	ms.NVMStores, ms.WPQAccepts = tm.bus.Device().Stats()
 	_, ms.WPQStallNS = tm.bus.Controller().Stats()
 	ms.NVMWriteBusyNS, ms.NVMReadBusyNS = tm.bus.Controller().Utilization()
@@ -59,6 +63,16 @@ func (ms MachineStats) HitRate() float64 {
 func (ms MachineStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "txns: %d commits, %d aborts\n", ms.Commits, ms.Aborts)
+	if ms.Aborts > 0 {
+		fmt.Fprintf(&b, "aborts by reason:")
+		for r := AbortReason(0); r < NumAbortReasons; r++ {
+			if r > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " %d %v", ms.AbortReasons[r], r)
+		}
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "nvm:  %d stores, %d flushes accepted, %.2f ms accept-stall\n",
 		ms.NVMStores, ms.WPQAccepts, float64(ms.WPQStallNS)/1e6)
 	fmt.Fprintf(&b, "media busy: write %.2f ms, read %.2f ms\n",

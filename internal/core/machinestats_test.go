@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"goptm/internal/durability"
@@ -62,5 +63,104 @@ func TestMachineStatsEmptyHitRate(t *testing.T) {
 	var ms MachineStats
 	if ms.HitRate() != 0 {
 		t.Fatal("empty stats hit rate not zero")
+	}
+}
+
+func TestAbortReasonExplicit(t *testing.T) {
+	tm := smallTM(t, OrecLazy, durability.ADR, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) { a = tx.Alloc(8) })
+	first := true
+	th.Atomic(func(tx *Tx) {
+		tx.Store(a, 7)
+		if first {
+			first = false
+			tx.Abort()
+		}
+	})
+	st := th.Stats()
+	if st.Aborts != 1 || st.AbortReasons[AbortExplicit] != 1 {
+		t.Fatalf("thread stats: aborts=%d reasons=%v", st.Aborts, st.AbortReasons)
+	}
+	ms := tm.MachineStats()
+	if ms.AbortReasons[AbortExplicit] != 1 {
+		t.Fatalf("machine stats reasons = %v", ms.AbortReasons)
+	}
+	s := ms.String()
+	for _, want := range []string{"aborts by reason:", "explicit", "lock-conflict"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAbortReasonCapacityHTM(t *testing.T) {
+	tm := htmTM(t, 1)
+	th := tm.Thread(0)
+	defer th.Detach()
+	var a memdev.Addr
+	th.Atomic(func(tx *Tx) { a = tx.AllocZeroed(HTMCapacity + 8) })
+	th.Atomic(func(tx *Tx) {
+		for i := 0; i <= HTMCapacity; i++ {
+			tx.Store(a+memdev.Addr(i), 1)
+		}
+	})
+	st := th.Stats()
+	if st.AbortReasons[AbortCapacity] != 1 {
+		t.Fatalf("capacity aborts = %v", st.AbortReasons)
+	}
+	if st.HTMFallbacks != 1 {
+		t.Fatalf("fallbacks = %d", st.HTMFallbacks)
+	}
+	if tm.MachineStats().AbortReasons[AbortCapacity] != 1 {
+		t.Fatalf("machine capacity aborts = %v", tm.MachineStats().AbortReasons)
+	}
+}
+
+// TestAbortReasonsSumUnderContention hammers one word from two threads
+// and checks the invariant that classified aborts account for every
+// abort, on each thread and machine-wide.
+func TestAbortReasonsSumUnderContention(t *testing.T) {
+	for _, algo := range bothAlgos {
+		tm := smallTM(t, algo, durability.ADR, 2)
+		setup := tm.Thread(0)
+		var a memdev.Addr
+		setup.Atomic(func(tx *Tx) { a = tx.Alloc(8) })
+
+		var wg sync.WaitGroup
+		threads := []*Thread{setup, tm.Thread(1)}
+		for _, th := range threads {
+			wg.Add(1)
+			go func(th *Thread) {
+				defer wg.Done()
+				defer th.Detach()
+				for i := 0; i < 400; i++ {
+					th.Atomic(func(tx *Tx) {
+						tx.Store(a, tx.Load(a)+1)
+					})
+				}
+			}(th)
+		}
+		wg.Wait()
+
+		var machineSum int64
+		for _, c := range tm.MachineStats().AbortReasons {
+			machineSum += c
+		}
+		if machineSum != tm.Aborts() {
+			t.Fatalf("%v: classified %d of %d aborts", algo, machineSum, tm.Aborts())
+		}
+		for i, th := range threads {
+			st := th.Stats()
+			var sum int64
+			for _, c := range st.AbortReasons {
+				sum += c
+			}
+			if sum != st.Aborts {
+				t.Fatalf("%v thread %d: classified %d of %d aborts", algo, i, sum, st.Aborts)
+			}
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"goptm/internal/durability"
 	"goptm/internal/membus"
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 	"goptm/internal/orec"
 )
 
@@ -19,9 +20,11 @@ type TM struct {
 	heap   *alloc.Heap
 	base   memdev.Addr // medium base: 0 (NVM) or memdev.DRAMBase
 	stride uint64      // descriptor stride in words
+	rec    *obs.Recorder
 
-	commits atomic.Int64
-	aborts  atomic.Int64
+	commits  atomic.Int64
+	aborts   atomic.Int64
+	abortsBy [NumAbortReasons]atomic.Int64
 
 	// crashHook, when non-nil, is invoked at named points of the
 	// commit protocols so crash-recovery tests can cut execution at
@@ -86,6 +89,7 @@ func New(cfg Config) (*TM, error) {
 		L3Lines:    cfg.L3Lines,
 		PageFrames: cfg.PageFrames,
 		WindowNS:   cfg.WindowNS,
+		Recorder:   cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -97,6 +101,7 @@ func New(cfg Config) (*TM, error) {
 		orecs:  orec.New(cfg.OrecSize),
 		base:   mediumBase(cfg.Medium),
 		stride: descStride(cfg.MaxLogEntries),
+		rec:    cfg.Recorder,
 	}
 
 	// Under PDRAM-Lite the per-thread log areas live in persistent
@@ -160,17 +165,33 @@ func (tm *TM) Orecs() *orec.Table { return tm.orecs }
 // Config returns the runtime's configuration (after defaulting).
 func (tm *TM) Config() Config { return tm.cfg }
 
+// Recorder exposes the attached observability recorder (nil when
+// observability is off).
+func (tm *TM) Recorder() *obs.Recorder { return tm.rec }
+
 // Commits reports the total committed transactions.
 func (tm *TM) Commits() int64 { return tm.commits.Load() }
 
 // Aborts reports the total aborted transaction attempts.
 func (tm *TM) Aborts() int64 { return tm.aborts.Load() }
 
+// AbortsByReason reports the aborted attempts classified by cause.
+func (tm *TM) AbortsByReason() [NumAbortReasons]int64 {
+	var out [NumAbortReasons]int64
+	for i := range out {
+		out[i] = tm.abortsBy[i].Load()
+	}
+	return out
+}
+
 // ResetStats zeroes the global commit/abort counters (used to exclude
 // warmup from measurements).
 func (tm *TM) ResetStats() {
 	tm.commits.Store(0)
 	tm.aborts.Store(0)
+	for i := range tm.abortsBy {
+		tm.abortsBy[i].Store(0)
+	}
 }
 
 // SetRoot durably publishes a root pointer (see alloc.Heap.SetRoot).
@@ -202,6 +223,7 @@ func Attach(bus *membus.Bus, cfg Config) (*TM, error) {
 		orecs:  orec.New(cfg.OrecSize),
 		base:   mediumBase(cfg.Medium),
 		stride: descStride(cfg.MaxLogEntries),
+		rec:    cfg.Recorder,
 	}
 	probe := bus.NewContext(0)
 	defer probe.Detach()

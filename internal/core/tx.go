@@ -5,12 +5,61 @@ import (
 
 	"goptm/internal/membus"
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 	"goptm/internal/simtime"
 	"goptm/internal/stats"
 )
 
+// AbortReason classifies why a transaction attempt aborted.
+type AbortReason uint8
+
+// Abort reasons, in MachineStats order.
+const (
+	// AbortLockConflict: a needed orec was locked by another thread
+	// (encounter-time or commit-time acquisition failure).
+	AbortLockConflict AbortReason = iota
+	// AbortValidation: a read was invalidated by a concurrent commit
+	// (torn orec read, failed snapshot extension, or commit-time
+	// read-set validation failure).
+	AbortValidation
+	// AbortCapacity: an HTM attempt overflowed the speculative write
+	// set and must fall back to the software path.
+	AbortCapacity
+	// AbortExplicit: the transaction body called Tx.Abort.
+	AbortExplicit
+	// NumAbortReasons sizes per-reason counter arrays.
+	NumAbortReasons
+)
+
+// String names the reason as MachineStats renders it.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortLockConflict:
+		return "lock-conflict"
+	case AbortValidation:
+		return "validation"
+	case AbortCapacity:
+		return "htm-capacity"
+	case AbortExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("AbortReason(%d)", int(r))
+	}
+}
+
+// abortEventNames are the preallocated trace-marker names, so the
+// abort record path never formats a string.
+var abortEventNames = [NumAbortReasons]string{
+	"abort:lock-conflict", "abort:validation", "abort:htm-capacity", "abort:explicit",
+}
+
 // abortSignal is the panic value used to unwind an aborted attempt.
-type abortSignal struct{}
+type abortSignal struct{ reason AbortReason }
+
+// abortWith unwinds the current attempt with the given reason.
+func abortWith(r AbortReason) {
+	panic(abortSignal{reason: r})
+}
 
 // ErrLogOverflow reports a transaction exceeding MaxLogEntries; it is
 // delivered as a panic because it is a configuration error, not a
@@ -54,8 +103,9 @@ type undoRec struct {
 type ThreadStats struct {
 	Commits      int64
 	Aborts       int64
-	MaxLogEntry  int // high-water mark of log entries in one txn
-	MaxLogLines  int // high-water mark of distinct log lines (§IV-B)
+	AbortReasons [NumAbortReasons]int64 // aborts classified by cause
+	MaxLogEntry  int                    // high-water mark of log entries in one txn
+	MaxLogLines  int                    // high-water mark of distinct log lines (§IV-B)
 	ReadOnlyTxns int64
 	HTMFallbacks int64 // transactions that fell back to the software path
 }
@@ -84,7 +134,8 @@ type Thread struct {
 	mode        Algo // algorithm of the current attempt (HTM may fall back)
 	capacityHit bool // the HTM attempt overflowed; fall back immediately
 	stats       ThreadStats
-	latency     stats.Histogram // committed-transaction latency (virtual ns)
+	latency     stats.Histogram     // committed-transaction latency (virtual ns)
+	rec         *obs.ThreadRecorder // nil when observability is off
 }
 
 // Thread creates the worker handle for tid. Each tid must be claimed
@@ -102,6 +153,7 @@ func (tm *TM) Thread(tid int) *Thread {
 		rng:     simtime.NewRand(uint64(tid)*0x9E3779B9 + 1),
 		wpos:    make(map[memdev.Addr]int, 64),
 		lockVer: make(map[int]uint64, 16),
+		rec:     tm.rec.Thread(tid),
 	}
 }
 
@@ -154,7 +206,7 @@ type Tx struct {
 
 // Abort abandons the current attempt; Atomic will retry it.
 func (tx *Tx) Abort() {
-	panic(abortSignal{})
+	abortWith(AbortExplicit)
 }
 
 // Atomic runs fn as a transaction, retrying on conflict until it
@@ -175,33 +227,76 @@ func (th *Thread) Atomic(fn func(tx *Tx)) {
 			}
 			mode = OrecLazy
 		}
+		attemptStart := th.ctx.Now()
 		if th.runAttempt(fn, mode) {
 			th.stats.Commits++
 			th.tm.commits.Add(1)
 			th.capacityHit = false
-			th.latency.Record(th.ctx.Now() - start)
+			now := th.ctx.Now()
+			th.latency.Record(now - start)
+			th.rec.Span(obs.PhaseTxn, start, now)
+			if th.rec.Tracing() && th.stats.Commits&(counterSampleEvery-1) == 0 {
+				th.sampleCounters(now)
+			}
 			return
 		}
 		th.stats.Aborts++
 		th.tm.aborts.Add(1)
+		// The whole doomed attempt — body execution plus rollback — is
+		// wasted virtual time, attributed to the abort phase.
+		th.rec.Span(obs.PhaseAbort, attemptStart, th.ctx.Now())
 		th.backoff(attempt)
 	}
+}
+
+// counterSampleEvery is the committed-transaction stride at which a
+// tracing thread samples the machine's counter tracks (power of two).
+const counterSampleEvery = 32
+
+// sampleCounters emits one sample per counter track at virtual time
+// now. Tracing-only path: it takes the shared controller and cache
+// locks, which the disabled and breakdown-only configurations must
+// never pay for.
+func (th *Thread) sampleCounters(now int64) {
+	bus := th.tm.bus
+	ctl := bus.Controller()
+	th.rec.Count(obs.TrackWPQOccupancy, now, float64(ctl.OccupancyAt(now)))
+	wb, rb := ctl.Utilization()
+	th.rec.Count(obs.TrackMediaWriteBusy, now, float64(wb)/1e6)
+	th.rec.Count(obs.TrackMediaReadBusy, now, float64(rb)/1e6)
+	th.rec.Count(obs.TrackCacheHitRate, now, 100*bus.Cache().HitRate())
+	if pc := bus.PageCache(); pc != nil {
+		resident, dirty := pc.Resident()
+		th.rec.Count(obs.TrackPageResidency, now, float64(resident))
+		th.rec.Count(obs.TrackPageDirty, now, float64(dirty))
+	}
+}
+
+// noteAbort classifies an aborted attempt on the thread, the TM, and
+// the trace.
+func (th *Thread) noteAbort(r AbortReason) {
+	th.stats.AbortReasons[r]++
+	th.tm.abortsBy[r].Add(1)
+	th.rec.Instant(th.ctx.Now(), abortEventNames[r])
 }
 
 // runAttempt executes one attempt in the given mode, converting abort
 // panics into a false return after rolling the attempt back.
 func (th *Thread) runAttempt(fn func(tx *Tx), mode Algo) (ok bool) {
+	beginStart := th.ctx.Now()
 	th.beginAttempt()
 	th.mode = mode
 	defer func() {
 		if r := recover(); r != nil {
-			switch r.(type) {
+			switch sig := r.(type) {
 			case abortSignal:
+				th.noteAbort(sig.reason)
 				th.onAbort()
 				ok = false
 				return
 			case htmCapacity:
 				th.capacityHit = true
+				th.noteAbort(AbortCapacity)
 				th.onAbort()
 				ok = false
 				return
@@ -224,6 +319,7 @@ func (th *Thread) runAttempt(fn func(tx *Tx), mode Algo) (ok bool) {
 	if mode != AlgoHTM {
 		th.ctx.MetaOp() // clock read
 	}
+	th.rec.Span(obs.PhaseBegin, beginStart, th.ctx.Now())
 	fn(&tx)
 	th.commit(&tx)
 	return true
@@ -394,9 +490,12 @@ func (th *Thread) validateReadSet() bool {
 // read is still at its observed version, the snapshot can move to the
 // current clock. Returns whether the extension succeeded.
 func (tx *Tx) extend() bool {
+	start := tx.th.ctx.Now()
 	newRv := tx.th.tm.orecs.ReadClock()
 	tx.th.ctx.MetaOp()
-	if !tx.th.validateReadSet() {
+	ok := tx.th.validateReadSet()
+	tx.th.rec.Span(obs.PhaseValidate, start, tx.th.ctx.Now())
+	if !ok {
 		return false
 	}
 	tx.rv = newRv

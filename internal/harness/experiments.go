@@ -2,12 +2,14 @@ package harness
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
+	"goptm/internal/obs"
 	"goptm/internal/workload"
 	"goptm/internal/workload/btreebench"
 	"goptm/internal/workload/kvstore"
@@ -23,6 +25,11 @@ type Params struct {
 	WarmupNS  int64
 	MeasureNS int64
 	Small     bool // shrink workload datasets for smoke runs
+	// Observe attaches a breakdown recorder to every measurement so
+	// figures can print the per-phase overhead decomposition. It adds a
+	// few integer ops per recorded span — leave it off for
+	// throughput-comparison runs.
+	Observe bool
 }
 
 // QuickParams runs in seconds per panel; FullParams reproduces the
@@ -143,6 +150,9 @@ func RunPanel(name string, mk WorkloadMaker, cells []Cell, p Params, w io.Writer
 		s := Series{Cell: cell}
 		for _, n := range p.Threads {
 			rc := RunConfig{Threads: n, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS}
+			if p.Observe {
+				rc.Recorder = obs.New(n, false) // breakdown accounting, no event retention
+			}
 			res, err := Run(cell, rc, mk.Make(p))
 			if err != nil {
 				return fig, fmt.Errorf("%s %s @%d threads: %w", name, cell.Label(), n, err)
@@ -179,18 +189,22 @@ func (f Figure) Print(w io.Writer) {
 }
 
 // WriteCSV emits the figure as machine-readable CSV: one row per
-// (curve, thread-count) point with throughput, ratio, and latency
-// percentiles.
+// (curve, thread-count) point with throughput, ratio, latency
+// percentiles, and the full latency histogram as embedded JSON.
 func (f Figure) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"figure", "workload", "curve", "threads",
 		"throughput_ops", "commits", "aborts", "commits_per_abort",
-		"latency_p50_ns", "latency_p99_ns"}
+		"latency_p50_ns", "latency_p99_ns", "latency_hist"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, s := range f.Series {
 		for i, r := range s.Results {
+			hist, err := json.Marshal(&r.Latency)
+			if err != nil {
+				return err
+			}
 			rec := []string{
 				f.Name, f.Workload, s.Cell.Label(), strconv.Itoa(f.Threads[i]),
 				strconv.FormatFloat(r.ThroughputOps, 'f', 0, 64),
@@ -199,6 +213,7 @@ func (f Figure) WriteCSV(w io.Writer) error {
 				strconv.FormatFloat(r.CommitsPerAbort, 'f', 2, 64),
 				strconv.FormatInt(r.Latency.Percentile(50), 10),
 				strconv.FormatInt(r.Latency.Percentile(99), 10),
+				string(hist),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -207,6 +222,33 @@ func (f Figure) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// PrintBreakdown renders the figure's phase-overhead decomposition at
+// its highest thread count: one row per curve, each phase as a share
+// of total transaction time (the paper's §III-B style "where does the
+// time go" view). Empty unless the panel ran with Params.Observe.
+func (f Figure) PrintBreakdown(w io.Writer) {
+	var labels []string
+	var rows []*obs.Breakdown
+	for i := range f.Series {
+		s := &f.Series[i]
+		if len(s.Results) == 0 {
+			continue
+		}
+		b := s.Results[len(s.Results)-1].Breakdown
+		if b.Empty() {
+			continue
+		}
+		labels = append(labels, s.Cell.Label())
+		rows = append(rows, &b)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s — %s (phase breakdown at %d threads)\n",
+		f.Name, f.Workload, f.Threads[len(f.Threads)-1])
+	obs.WriteTable(w, labels, rows)
 }
 
 // PrintRatios renders the commits-per-abort view of the figure (the

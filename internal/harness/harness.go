@@ -8,10 +8,12 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
+	"goptm/internal/obs"
 	"goptm/internal/stats"
 	"goptm/internal/workload"
 	"goptm/internal/wpq"
@@ -52,6 +54,10 @@ type RunConfig struct {
 	HeapWords  uint64
 	MaxLog     int
 	WPQDepth   int // 0 = default (64)
+	// Recorder attaches observability to the run (phase breakdown, and
+	// trace events when the recorder traces). nil leaves it off; the
+	// instrumented paths then cost nothing.
+	Recorder *obs.Recorder
 }
 
 // DefaultRun returns the standard measurement parameters used by the
@@ -83,6 +89,9 @@ type Result struct {
 	// Machine is the cross-layer machine snapshot at the end of the
 	// run (cumulative counters including setup and warmup).
 	Machine core.MachineStats
+	// Breakdown is the merged phase accounting (zero unless the run
+	// config attached a Recorder; cumulative including warmup).
+	Breakdown obs.Breakdown
 }
 
 // BuildTM assembles a TM for one cell and run configuration, sized
@@ -116,6 +125,7 @@ func BuildTM(c Cell, rc RunConfig, w workload.Workload) (*core.TM, error) {
 		L3Lines:       rc.L3Lines,
 		PageFrames:    frames,
 		NoFence:       c.NoFence,
+		Recorder:      rc.Recorder,
 	}
 	if rc.WPQDepth > 0 {
 		cfg.Ctl = wpq.DefaultConfig(rc.Threads)
@@ -131,6 +141,20 @@ func Run(c Cell, rc RunConfig, w workload.Workload) (Result, error) {
 		return Result{}, err
 	}
 	return RunOn(tm, c, rc, w), nil
+}
+
+// RunTraced measures one cell with full event tracing attached and
+// writes the run's Chrome trace-event JSON to w (open it in
+// ui.perfetto.dev). Tracing retains every span and counter sample, so
+// keep the measurement window small; the returned Result carries the
+// phase breakdown like any observed run.
+func RunTraced(c Cell, rc RunConfig, wl workload.Workload, w io.Writer) (Result, error) {
+	rc.Recorder = obs.New(rc.Threads, true)
+	res, err := Run(c, rc, wl)
+	if err != nil {
+		return res, err
+	}
+	return res, rc.Recorder.WriteTrace(w)
 }
 
 // RunOn measures a workload on an already-built TM (used by Fig 8 and
@@ -203,5 +227,6 @@ func RunOn(tm *core.TM, c Cell, rc RunConfig, w workload.Workload) Result {
 	_, res.WPQStallNS = tm.Bus().Controller().Stats()
 	res.EndVT = end
 	res.Machine = tm.MachineStats()
+	res.Breakdown = tm.Recorder().Breakdown()
 	return res
 }

@@ -3,6 +3,7 @@ package membus
 import (
 	"goptm/internal/cachesim"
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 	"goptm/internal/pagecache"
 	"goptm/internal/simtime"
 )
@@ -26,6 +27,7 @@ type Context struct {
 	pendingFence int64 // latest clwb accept time since the last fence
 	wcLine       int64 // NT write-combining buffer: current line, -1 if empty
 	stats        Stats
+	rec          *obs.ThreadRecorder // nil when observability is off
 }
 
 // NewContext attaches a thread context. tid must be unique and in
@@ -34,7 +36,7 @@ func (b *Bus) NewContext(tid int) *Context {
 	if tid < 0 || tid >= b.cfg.Threads {
 		panic("membus: tid out of range")
 	}
-	return &Context{bus: b, th: b.engine.NewThread(tid), tid: tid, wcLine: -1}
+	return &Context{bus: b, th: b.engine.NewThread(tid), tid: tid, wcLine: -1, rec: b.rec.Thread(tid)}
 }
 
 // Now reports the context's virtual time.
@@ -120,16 +122,21 @@ func (c *Context) miss(a memdev.Addr, now int64, write bool) {
 		// Memory-Mode path: directory probe, then DRAM frame or page
 		// fault.
 		c.th.Advance(b.lat.PageDirProbe)
-		done, hit := b.pcache.Access(c.th.Now(), c.tid, pagecache.PageOf(uint64(a)), write)
+		faultStart := c.th.Now()
+		done, hit := b.pcache.Access(faultStart, c.tid, pagecache.PageOf(uint64(a)), write)
 		if hit {
 			done = b.ctl.ReadDRAM(c.th.Now())
 			c.th.AdvanceTo(done + b.lat.DRAMBase)
 		} else {
+			// Page fault: the wait is media time (fetch, possibly behind
+			// a victim writeback).
 			c.th.AdvanceTo(done + b.lat.DRAMBase)
+			c.rec.Span(obs.PhaseMediaWait, faultStart, c.th.Now())
 		}
 	default:
 		done := b.ctl.ReadNVM(now)
 		c.th.AdvanceTo(done + b.lat.NVMBase)
+		c.rec.Span(obs.PhaseMediaWait, now, c.th.Now())
 	}
 }
 
@@ -188,8 +195,10 @@ func (c *Context) flushWC() {
 	b := c.bus
 	line := uint64(c.wcLine)
 	c.wcLine = -1
-	accept, drain := b.ctl.EnqueueNVM(c.th.Now(), c.tid, line)
+	now := c.th.Now()
+	accept, drain := b.ctl.EnqueueNVM(now, c.tid, line)
 	b.dev.WPQAccept(line, drain)
+	c.rec.Span(obs.PhaseWPQStall, now, accept)
 	if accept > c.pendingFence {
 		c.pendingFence = accept
 	}
@@ -216,6 +225,10 @@ func (c *Context) CLWB(a memdev.Addr) {
 	if b.dev.IsNVM(a) {
 		accept, drain := b.ctl.EnqueueNVM(now, c.tid, line)
 		b.dev.WPQAccept(line, drain)
+		// A clwb is asynchronous, so a queue-full delay is not a stall
+		// *here* — it pushes the fence horizon out. Attribute the delay
+		// to the WPQ anyway: it is the root cause the fence will pay for.
+		c.rec.Span(obs.PhaseWPQStall, now, accept)
 		if accept > c.pendingFence {
 			c.pendingFence = accept
 		}
@@ -239,10 +252,12 @@ func (c *Context) SFence() {
 	}
 	c.flushWC()
 	c.stats.Fences++
-	target := c.th.Now() + b.lat.SFenceBase
+	start := c.th.Now()
+	target := start + b.lat.SFenceBase
 	if c.pendingFence > target {
 		target = c.pendingFence
 	}
 	c.th.AdvanceTo(target)
+	c.rec.Span(obs.PhaseFenceWait, start, target)
 	c.pendingFence = 0
 }

@@ -31,6 +31,7 @@ import (
 	"goptm/internal/cachesim"
 	"goptm/internal/durability"
 	"goptm/internal/memdev"
+	"goptm/internal/obs"
 	"goptm/internal/pagecache"
 	"goptm/internal/simtime"
 	"goptm/internal/wpq"
@@ -84,6 +85,10 @@ type Config struct {
 	// optimizations (II-A) for ablation.
 	NoPrefetch       bool
 	NoAsyncWriteback bool
+	// Recorder attaches observability: per-thread stall spans
+	// (fence-wait, WPQ stall, media wait) and, when tracing, the WPQ
+	// occupancy counter track. nil disables it at zero cost.
+	Recorder *obs.Recorder
 }
 
 // Bus is the assembled memory system.
@@ -96,6 +101,7 @@ type Bus struct {
 	pcache *pagecache.Cache
 	engine *simtime.Engine
 	domain durability.Domain
+	rec    *obs.Recorder
 
 	routeMu sync.RWMutex
 	routed  []pageRange // sorted, disjoint; used by PDRAM-Lite
@@ -136,6 +142,16 @@ func New(cfg Config) (*Bus, error) {
 		ctl:    wpq.New(cfg.Ctl),
 		engine: simtime.NewEngine(cfg.WindowNS),
 		domain: cfg.Domain,
+		rec:    cfg.Recorder,
+	}
+	if cfg.Recorder.Tracing() {
+		// WPQ occupancy is a machine-level quantity: feed every accept
+		// into the shared counter lane. Tracing-only; the callback cost
+		// never touches measurement configurations.
+		rec := cfg.Recorder
+		b.ctl.SetObserver(func(acceptVT, stallNS int64, occupancy int) {
+			rec.CountShared(obs.TrackWPQOccupancy, acceptVT, float64(occupancy))
+		})
 	}
 	if cfg.Domain.DRAMCachesNVM() || cfg.Domain == durability.PDRAMLite {
 		b.pcache = pagecache.New(pagecache.Config{

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Breakdown is the rolled-up phase accounting of one run (or one
+// thread): total virtual ns and span count per phase. PhaseTxn holds
+// the enclosing whole-transaction time; the protocol and bus phases
+// attribute slices of it (bus phases overlap the protocol phases, see
+// the Phase doc).
+type Breakdown struct {
+	NS    [NumPhases]int64
+	Count [NumPhases]int64
+}
+
+// Merge adds other's accounting into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b.NS {
+		b.NS[i] += other.NS[i]
+		b.Count[i] += other.Count[i]
+	}
+}
+
+// Empty reports whether nothing was recorded.
+func (b *Breakdown) Empty() bool {
+	for _, ns := range b.NS {
+		if ns != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Share reports phase p's fraction of the total transaction time, in
+// [0, 1]; 0 when no transaction time was recorded.
+func (b *Breakdown) Share(p Phase) float64 {
+	if b.NS[PhaseTxn] == 0 {
+		return 0
+	}
+	return float64(b.NS[p]) / float64(b.NS[PhaseTxn])
+}
+
+// tablePhases is the column order of the breakdown table: protocol
+// phases first, then the overlapping bus phases.
+var tablePhases = []Phase{
+	PhaseBegin, PhaseValidate, PhaseDrain, PhaseCommit, PhaseAbort,
+	PhaseFenceWait, PhaseWPQStall, PhaseMediaWait,
+}
+
+// TableHeader renders the column headers of the breakdown table,
+// prefixed by a first column of the given width for the row label.
+func TableHeader(labelWidth int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s%12s", labelWidth, "curve", "txn-ms")
+	for _, p := range tablePhases {
+		fmt.Fprintf(&sb, "%12s", p.String())
+	}
+	return sb.String()
+}
+
+// TableRow renders one breakdown as a table row: total transaction
+// milliseconds followed by each phase's share of transaction time in
+// percent.
+func (b *Breakdown) TableRow(label string, labelWidth int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s%12.2f", labelWidth, label, float64(b.NS[PhaseTxn])/1e6)
+	for _, p := range tablePhases {
+		fmt.Fprintf(&sb, "%11.1f%%", 100*b.Share(p))
+	}
+	return sb.String()
+}
+
+// WriteTable renders labeled breakdowns as an aligned table. The bus
+// phases (fence-wait, wpq-stall, media-wait) overlap the protocol
+// phases, so rows do not sum to 100%.
+func WriteTable(w io.Writer, labels []string, rows []*Breakdown) {
+	width := len("curve") + 2
+	for _, l := range labels {
+		if len(l)+2 > width {
+			width = len(l) + 2
+		}
+	}
+	fmt.Fprintln(w, TableHeader(width))
+	for i, b := range rows {
+		fmt.Fprintln(w, b.TableRow(labels[i], width))
+	}
+	fmt.Fprintln(w, "(per-phase columns are % of total txn virtual time; bus phases overlap protocol phases)")
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDisabledRecorderEmitsNothing pins the contract the runtime's
+// unconditional instrumentation relies on: a nil Recorder (and the nil
+// ThreadRecorders it hands out) accepts every recording call and
+// retains no events and no accounting.
+func TestDisabledRecorderEmitsNothing(t *testing.T) {
+	var r *Recorder
+	if r.Tracing() {
+		t.Fatal("nil recorder claims to trace")
+	}
+	tr := r.Thread(0)
+	if tr != nil {
+		t.Fatal("nil recorder handed out a thread recorder")
+	}
+	tr.Span(PhaseCommit, 10, 20)
+	tr.Instant(15, "abort:lock-conflict")
+	tr.Count(TrackWPQOccupancy, 15, 3)
+	r.CountShared(TrackWPQOccupancy, 15, 3)
+	if tr.Tracing() {
+		t.Fatal("nil thread recorder claims to trace")
+	}
+	if got := r.EventCount(); got != 0 {
+		t.Fatalf("nil recorder holds %d events", got)
+	}
+	b := r.Breakdown()
+	if !b.Empty() {
+		t.Fatalf("nil recorder breakdown not empty: %+v", b)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace on nil recorder: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil-recorder trace is not valid JSON: %s", buf.String())
+	}
+}
+
+// TestBreakdownAccountingWithoutTracing checks that a non-tracing
+// recorder still accumulates the phase breakdown but retains no
+// events.
+func TestBreakdownAccountingWithoutTracing(t *testing.T) {
+	r := New(2, false)
+	r.Thread(0).Span(PhaseTxn, 0, 100)
+	r.Thread(0).Span(PhaseDrain, 10, 30)
+	r.Thread(1).Span(PhaseTxn, 0, 300)
+	r.Thread(1).Span(PhaseDrain, 50, 90)
+	r.Thread(1).Span(PhaseFenceWait, 60, 80)
+	// Event-only calls must be dropped without tracing.
+	r.Thread(0).Instant(5, "abort:validation")
+	r.Thread(1).Count(TrackCacheHitRate, 5, 99)
+	r.CountShared(TrackWPQOccupancy, 5, 1)
+
+	if got := r.EventCount(); got != 0 {
+		t.Fatalf("non-tracing recorder retained %d events", got)
+	}
+	b := r.Breakdown()
+	if b.NS[PhaseTxn] != 400 || b.Count[PhaseTxn] != 2 {
+		t.Fatalf("txn accounting = %dns/%d spans", b.NS[PhaseTxn], b.Count[PhaseTxn])
+	}
+	if b.NS[PhaseDrain] != 60 || b.NS[PhaseFenceWait] != 20 {
+		t.Fatalf("phase accounting = %+v", b.NS)
+	}
+	if got := b.Share(PhaseDrain); got != 0.15 {
+		t.Fatalf("drain share = %f", got)
+	}
+	if b.Empty() {
+		t.Fatal("breakdown with recorded spans reports empty")
+	}
+}
+
+// TestSpanIgnoresEmptyAndInvertedIntervals: zero-length and negative
+// spans must not pollute the accounting.
+func TestSpanIgnoresEmptyAndInvertedIntervals(t *testing.T) {
+	r := New(1, true)
+	r.Thread(0).Span(PhaseCommit, 50, 50)
+	r.Thread(0).Span(PhaseCommit, 50, 40)
+	if got := r.EventCount(); got != 0 {
+		t.Fatalf("degenerate spans retained: %d", got)
+	}
+	b := r.Breakdown()
+	if b.NS[PhaseCommit] != 0 || b.Count[PhaseCommit] != 0 {
+		t.Fatalf("degenerate spans accounted: %+v", b)
+	}
+}
+
+// TestBreakdownTable exercises the table renderer on two rows with a
+// known share.
+func TestBreakdownTable(t *testing.T) {
+	adr := &Breakdown{}
+	adr.NS[PhaseTxn] = 1_000_000
+	adr.NS[PhaseFenceWait] = 250_000
+	eadr := &Breakdown{}
+	eadr.NS[PhaseTxn] = 1_000_000
+
+	var sb strings.Builder
+	WriteTable(&sb, []string{"Optane_ADR_R", "Optane_eADR_R"}, []*Breakdown{adr, eadr})
+	out := sb.String()
+	for _, want := range []string{"curve", "fence-wait", "Optane_ADR_R", "25.0%", "0.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPhaseAndTrackNames pins the exporter-visible names.
+func TestPhaseAndTrackNames(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if s := p.String(); s == "" || s == "phase?" {
+			t.Fatalf("phase %d has no name", p)
+		}
+	}
+	for tr := Track(0); tr < NumTracks; tr++ {
+		if s := tr.String(); s == "" || s == "track?" {
+			t.Fatalf("track %d has no name", tr)
+		}
+	}
+}

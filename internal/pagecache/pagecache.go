@@ -237,6 +237,20 @@ func (c *Cache) DirtyPages() []uint64 {
 	return out
 }
 
+// Resident reports the current frame occupancy: resident pages and,
+// of those, how many are dirty (observability counter tracks).
+func (c *Cache) Resident() (resident, dirty int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resident = len(c.dir)
+	for _, f := range c.dir {
+		if f.dirty {
+			dirty++
+		}
+	}
+	return resident, dirty
+}
+
 // Stats returns cumulative counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()

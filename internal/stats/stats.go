@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -100,6 +101,33 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max
 }
 
+// Bucket is one non-empty histogram bucket in the JSON encoding:
+// Count samples in [LoNS, 2*LoNS) virtual ns.
+type Bucket struct {
+	LoNS  int64 `json:"lo_ns"`
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON encodes the distribution as a summary plus the non-empty
+// buckets, the form the CSV export embeds per measurement row.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	var buckets []Bucket
+	for i, c := range h.counts {
+		if c > 0 {
+			buckets = append(buckets, Bucket{LoNS: int64(1) << uint(i) >> 1, Count: c})
+		}
+	}
+	return json.Marshal(struct {
+		Count   int64    `json:"count"`
+		MeanNS  float64  `json:"mean_ns"`
+		P50NS   int64    `json:"p50_ns"`
+		P95NS   int64    `json:"p95_ns"`
+		P99NS   int64    `json:"p99_ns"`
+		MaxNS   int64    `json:"max_ns"`
+		Buckets []Bucket `json:"buckets"`
+	}{h.total, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max, buckets})
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.0fns p50=%dns p99=%dns max=%dns",
@@ -128,6 +156,9 @@ func (h *Histogram) Bars(width int) string {
 	var b strings.Builder
 	for i := lo; i <= hi; i++ {
 		n := int(float64(h.counts[i]) / float64(peak) * float64(width))
+		if n == 0 && h.counts[i] > 0 {
+			n = 1 // a populated bucket must be visible, however small
+		}
 		fmt.Fprintf(&b, "%10dns |%-*s| %d\n", int64(1)<<uint(i), width, strings.Repeat("#", n), h.counts[i])
 	}
 	return b.String()

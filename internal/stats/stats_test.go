@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -125,6 +126,74 @@ func TestStringAndBars(t *testing.T) {
 	bars := h.Bars(20)
 	if !strings.Contains(bars, "#") {
 		t.Fatalf("bars malformed: %q", bars)
+	}
+}
+
+func TestBarsSmallBucketsVisible(t *testing.T) {
+	// A bucket whose proportional width rounds to zero must still show
+	// at least one '#': one outlier dwarfing one small sample.
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(1 << 20)
+	}
+	h.Record(2) // tiny, 1/1000th of the peak bucket
+	for _, line := range strings.Split(strings.TrimRight(h.Bars(20), "\n"), "\n") {
+		if strings.HasSuffix(line, " 0") {
+			continue // empty in-between bucket: no bar expected
+		}
+		if !strings.Contains(line, "#") {
+			t.Fatalf("populated bucket rendered with no bar: %q", line)
+		}
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{100, 100, 200, 1 << 20} {
+		h.Record(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Count   int64    `json:"count"`
+		MeanNS  float64  `json:"mean_ns"`
+		P50NS   int64    `json:"p50_ns"`
+		P95NS   int64    `json:"p95_ns"`
+		P99NS   int64    `json:"p99_ns"`
+		MaxNS   int64    `json:"max_ns"`
+		Buckets []Bucket `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if got.Count != 4 || got.MaxNS != 1<<20 {
+		t.Fatalf("summary wrong: %s", data)
+	}
+	if got.P50NS <= 0 || got.P95NS < got.P50NS || got.P99NS < got.P95NS {
+		t.Fatalf("percentiles wrong: %s", data)
+	}
+	var n int64
+	for _, b := range got.Buckets {
+		if b.Count <= 0 {
+			t.Fatalf("empty bucket emitted: %s", data)
+		}
+		n += b.Count
+	}
+	if n != 4 {
+		t.Fatalf("bucket counts sum to %d: %s", n, data)
+	}
+}
+
+func TestMarshalJSONEmpty(t *testing.T) {
+	var h Histogram
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"count":0`) {
+		t.Fatalf("empty histogram JSON: %s", data)
 	}
 }
 

@@ -78,6 +78,11 @@ type Controller struct {
 	lastLine  []uint64 // per-thread last NVM line written, for combining
 	accepts   int64
 	stallTime int64 // cumulative accept delay due to a full WPQ
+
+	// observer, when non-nil, sees every accept: the accept time, the
+	// queue-full delay it suffered, and the post-accept occupancy.
+	// Observability hook; the measurement path leaves it nil.
+	observer func(acceptVT, stallNS int64, occupancy int)
 }
 
 // New builds a controller. Threads in cfg must cover every tid passed
@@ -110,6 +115,15 @@ func New(cfg Config) *Controller {
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// SetObserver installs an accept callback (observability; nil to
+// clear). The callback runs under the controller lock and must not
+// call back into the controller. Install before traffic starts.
+func (c *Controller) SetObserver(fn func(acceptVT, stallNS int64, occupancy int)) {
+	c.mu.Lock()
+	c.observer = fn
+	c.mu.Unlock()
+}
+
 // EnqueueNVM accepts a line flush into the WPQ at virtual time now on
 // behalf of thread tid. It returns the accept time (when the flush has
 // entered the ADR domain — what a clwb+sfence waits for) and the drain
@@ -119,9 +133,11 @@ func (c *Controller) Config() Config { return c.cfg }
 func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain int64) {
 	c.mu.Lock()
 	accept = now
+	stall := int64(0)
 	// The entry Depth-back must have drained before a new slot frees.
 	if oldest := c.ring[c.ringPos]; oldest > accept {
-		c.stallTime += oldest - accept
+		stall = oldest - accept
+		c.stallTime += stall
 		accept = oldest
 	}
 	hold := c.cfg.NVMWriteHold
@@ -138,6 +154,15 @@ func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain 
 	c.ring[c.ringPos] = drain
 	c.ringPos = (c.ringPos + 1) % len(c.ring)
 	c.accepts++
+	if c.observer != nil {
+		occ := 0
+		for _, d := range c.ring {
+			if d > accept {
+				occ++
+			}
+		}
+		c.observer(accept, stall, occ)
+	}
 	c.mu.Unlock()
 	return accept, drain
 }
