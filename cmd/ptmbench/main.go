@@ -10,14 +10,27 @@
 //	ptmbench -all              # everything
 //
 // Output is an aligned text table per panel; -v streams per-point
-// progress. Quick mode (default) completes in minutes; -full runs the
-// paper's {1,2,4,8,16,32} thread axis with longer windows.
+// progress with an ETA. Quick mode (default) completes in minutes;
+// -full runs the paper's {1,2,4,8,16,32} thread axis with longer
+// windows; -smoke is a seconds-scale panel for CI.
+//
+// Execution (see docs/RUNNING.md):
+//
+//	ptmbench -fig 3 -jobs 8           # 8 cells simulate concurrently
+//	ptmbench -all -cache              # reuse results/cache across runs
+//	ptmbench -all -cache-invalidate   # drop stale entries first
+//	ptmbench -fig 3 -shard 1/4        # CI split: this machine's quarter
+//
+// Every sweep runs under the lockstep virtual-time scheduler, so the
+// rendered tables and CSV are byte-identical at any -jobs value and a
+// cached result substitutes exactly for a fresh simulation.
 //
 // Observability:
 //
 //	ptmbench -fig 4 -breakdown     # append per-phase overhead tables
 //	ptmbench -fig 3 -trace out.json # trace ONE tiny point of the figure
 //	                                # and write Perfetto JSON (no sweep)
+//	ptmbench -fig 4 -sweeptrace sweep.json # record the sweep's own pace
 package main
 
 import (
@@ -25,11 +38,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
 	"goptm/internal/harness"
 	"goptm/internal/obs"
+	"goptm/internal/runner"
 	"goptm/internal/workload"
 	"goptm/internal/workload/kvstore"
 )
@@ -38,11 +53,23 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate: 3, 4, 6, 7, or 8")
 	all := flag.Bool("all", false, "regenerate every figure")
 	full := flag.Bool("full", false, "full paper scale (slower) instead of quick scale")
+	smoke := flag.Bool("smoke", false, "tiny seconds-scale panel (CI smoke)")
 	verbose := flag.Bool("v", false, "stream per-point progress")
 	csvPath := flag.String("csv", "", "also append machine-readable CSV rows to this file")
 	breakdown := flag.Bool("breakdown", false, "print per-phase overhead decomposition tables (attaches the breakdown recorder)")
 	tracePath := flag.String("trace", "", "run one small traced measurement of the figure and write Perfetto/Chrome trace-event JSON to this file (skips the full sweep)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial; output is identical either way)")
+	useCache := flag.Bool("cache", false, "serve previously simulated points from -cachedir and store fresh ones")
+	cacheDir := flag.String("cachedir", "results/cache", "content-addressed result cache directory")
+	cacheInvalidate := flag.Bool("cache-invalidate", false, "drop every cached result first (implies -cache)")
+	shardSpec := flag.String("shard", "", "run only shard i of n (\"i/n\", 1-based) for CI splitting")
+	sweepTrace := flag.String("sweeptrace", "", "write a Perfetto trace of the sweep's own progress to this file")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *tracePath != "" {
 		n := *fig
@@ -50,54 +77,110 @@ func main() {
 			n = 4
 		}
 		if err := runTraced(n, *tracePath, *breakdown); err != nil {
-			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 
 	if !*all && (*fig < 3 || *fig > 8 || *fig == 5) {
-		fmt.Fprintln(os.Stderr, "usage: ptmbench -fig {3|4|6|7|8} [-full] [-v] [-breakdown] [-trace out.json], or -all")
+		fmt.Fprintln(os.Stderr, "usage: ptmbench -fig {3|4|6|7|8} [-full|-smoke] [-jobs N] [-cache] [-shard i/n] [-v] [-breakdown] [-trace out.json], or -all")
 		os.Exit(2)
 	}
 
 	p := harness.QuickParams()
-	if *full {
+	switch {
+	case *full:
 		p = harness.FullParams()
+	case *smoke:
+		p = harness.Params{Threads: []int{1, 2}, WarmupNS: 100_000, MeasureNS: 500_000, Small: true}
 	}
 	p.Observe = *breakdown
-	var progress io.Writer
-	if *verbose {
-		progress = os.Stderr
+
+	opts, cleanup, err := sweepOptions(*jobs, *useCache || *cacheInvalidate, *cacheDir, *cacheInvalidate, *shardSpec, *verbose, *sweepTrace)
+	if err != nil {
+		fail(err)
 	}
 
 	var csvOut io.Writer
 	if *csvPath != "" {
 		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		csvOut = f
 	}
 
 	run := func(n int) {
-		if err := runFigure(n, p, progress, csvOut, *breakdown); err != nil {
-			fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
-			os.Exit(1)
+		if err := runFigure(n, p, opts, csvOut, *breakdown); err != nil {
+			fail(err)
 		}
 	}
 	if *all {
 		for _, n := range []int{3, 4, 6, 7, 8} {
 			run(n)
 		}
-		return
+	} else {
+		run(*fig)
 	}
-	run(*fig)
+	if err := cleanup(); err != nil {
+		fail(err)
+	}
 }
 
-func runFigure(n int, p harness.Params, progress, csvOut io.Writer, breakdown bool) error {
+// sweepOptions assembles the execution options shared by every panel
+// of the invocation: one worker pool size, one cache, one shard, and
+// one Progress whose totals accumulate across figures. The returned
+// cleanup prints the sweep summary (and writes the sweep trace).
+func sweepOptions(jobs int, useCache bool, cacheDir string, invalidate bool, shardSpec string, verbose bool, sweepTrace string) (harness.SweepOptions, func() error, error) {
+	opts := harness.SweepOptions{Jobs: jobs}
+	if useCache {
+		cache, err := runner.OpenCache(cacheDir)
+		if err != nil {
+			return opts, nil, err
+		}
+		if invalidate {
+			if err := cache.Invalidate(); err != nil {
+				return opts, nil, err
+			}
+		}
+		opts.Cache = cache
+	}
+	shard, err := runner.ParseShard(shardSpec)
+	if err != nil {
+		return opts, nil, err
+	}
+	opts.Shard = shard
+
+	var rec *obs.Recorder
+	if sweepTrace != "" {
+		rec = obs.New(1, true)
+	}
+	var w io.Writer
+	if verbose {
+		w = os.Stderr
+	}
+	opts.Progress = runner.NewProgress(w, rec)
+
+	cleanup := func() error {
+		fmt.Fprintf(os.Stderr, "ptmbench: %s\n", opts.Progress.Summary())
+		if rec != nil {
+			f, err := os.Create(sweepTrace)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.WriteTrace(f); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}
+	return opts, cleanup, nil
+}
+
+func runFigure(n int, p harness.Params, opts harness.SweepOptions, csvOut io.Writer, breakdown bool) error {
 	emit := func(fig harness.Figure) error {
 		fig.Print(os.Stdout)
 		if breakdown {
@@ -117,7 +200,7 @@ func runFigure(n int, p harness.Params, progress, csvOut io.Writer, breakdown bo
 			name = "Figure 6"
 		}
 		for _, mk := range harness.PanelWorkloads() {
-			fig, err := harness.RunPanel(name, mk, cells, p, progress)
+			fig, err := harness.RunPanelOpts(name, mk, cells, p, opts)
 			if err != nil {
 				return err
 			}
@@ -132,7 +215,7 @@ func runFigure(n int, p harness.Params, progress, csvOut io.Writer, breakdown bo
 			cells = harness.Fig67Cells()
 			name = "Figure 7"
 		}
-		fig, err := harness.RunPanel(name, harness.TATPWorkload(), cells, p, progress)
+		fig, err := harness.RunPanelOpts(name, harness.TATPWorkload(), cells, p, opts)
 		if err != nil {
 			return err
 		}
@@ -140,7 +223,7 @@ func runFigure(n int, p harness.Params, progress, csvOut io.Writer, breakdown bo
 			return err
 		}
 	case 8:
-		points, err := harness.RunFig8(p, progress)
+		points, err := harness.RunFig8Opts(p, opts)
 		if err != nil {
 			return err
 		}

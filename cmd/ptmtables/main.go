@@ -5,6 +5,12 @@
 //	ptmtables -table 3    # speedup from removing fences   (Table III)
 //	ptmtables -logsize    # redo-log footprint study        (§IV-B)
 //	ptmtables -all
+//
+// Tables 1-3 run through the parallel sweep engine: -jobs N simulates
+// cells concurrently (identical output), -cache reuses results across
+// runs, -shard i/n splits the points for CI. The logsize, energy, and
+// recovery studies are seconds-scale single measurements and stay
+// serial.
 package main
 
 import (
@@ -12,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
 	"goptm/internal/energy"
 	"goptm/internal/harness"
 	"goptm/internal/memdev"
+	"goptm/internal/runner"
 	"goptm/internal/workload"
 	"goptm/internal/workload/tpcc"
 	"goptm/internal/workload/vacation"
@@ -31,15 +39,16 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table")
 	full := flag.Bool("full", false, "full paper scale instead of quick scale")
 	verbose := flag.Bool("v", false, "stream per-point progress")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial; output is identical either way)")
+	useCache := flag.Bool("cache", false, "serve previously simulated points from -cachedir and store fresh ones")
+	cacheDir := flag.String("cachedir", "results/cache", "content-addressed result cache directory")
+	cacheInvalidate := flag.Bool("cache-invalidate", false, "drop every cached result first (implies -cache)")
+	shardSpec := flag.String("shard", "", "run only shard i of n (\"i/n\", 1-based) for CI splitting")
 	flag.Parse()
 
 	p := harness.QuickParams()
 	if *full {
 		p = harness.FullParams()
-	}
-	var progress io.Writer
-	if *verbose {
-		progress = os.Stderr
 	}
 
 	fail := func(err error) {
@@ -47,31 +56,65 @@ func main() {
 		os.Exit(1)
 	}
 
+	opts := harness.SweepOptions{Jobs: *jobs}
+	if *useCache || *cacheInvalidate {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		if *cacheInvalidate {
+			if err := cache.Invalidate(); err != nil {
+				fail(err)
+			}
+		}
+		opts.Cache = cache
+	}
+	shard, err := runner.ParseShard(*shardSpec)
+	if err != nil {
+		fail(err)
+	}
+	opts.Shard = shard
+	var w io.Writer
+	if *verbose {
+		w = os.Stderr
+	}
+	opts.Progress = runner.NewProgress(w, nil)
+	sweepRan := false
+
 	if *all || *table == 1 {
-		fig, err := harness.RunTable12(core.OrecLazy, p, progress)
+		fig, err := harness.RunTable12Opts(core.OrecLazy, p, opts)
 		if err != nil {
 			fail(err)
 		}
 		fig.PrintRatios(os.Stdout)
+		sweepRan = true
 	}
 	if *all || *table == 2 {
-		fig, err := harness.RunTable12(core.OrecEager, p, progress)
+		fig, err := harness.RunTable12Opts(core.OrecEager, p, opts)
 		if err != nil {
 			fail(err)
 		}
 		fig.PrintRatios(os.Stdout)
+		sweepRan = true
 	}
 	if *all || *table == 3 {
-		rows, err := harness.RunTable3(p, progress)
+		rows, err := harness.RunTable3Opts(p, opts)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("\nTable III — speedup from removing memory fences (ADR, Optane, 2 threads)")
 		fmt.Printf("%-16s %-6s %14s %14s %9s\n", "workload", "log", "fenced ops/s", "no-fence", "speedup")
 		for _, r := range rows {
+			if r.Workload == "" { // sharded away
+				continue
+			}
 			fmt.Printf("%-16s %-6s %14.0f %14.0f %8.1f%%\n",
 				r.Workload, r.Algo, r.Base, r.NoFence, r.Speedup)
 		}
+		sweepRan = true
+	}
+	if sweepRan {
+		fmt.Fprintf(os.Stderr, "ptmtables: %s\n", opts.Progress.Summary())
 	}
 	if *all || *logsize {
 		if err := runLogFootprint(p); err != nil {

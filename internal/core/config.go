@@ -107,6 +107,11 @@ type Config struct {
 	PageFrames int
 	WindowNS   int64
 	Ctl        wpq.Config
+	// Lockstep passes through to membus: deterministic virtual-time
+	// scheduling, required for bit-reproducible measurements (the
+	// experiment sweeps set it so that results are cacheable and
+	// identical whether cells run serially or in parallel).
+	Lockstep bool
 
 	// NoFence elides sfence while keeping clwb — the intentionally
 	// incorrect variant behind Table III. Performance ablation only.

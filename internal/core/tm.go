@@ -89,6 +89,7 @@ func New(cfg Config) (*TM, error) {
 		L3Lines:    cfg.L3Lines,
 		PageFrames: cfg.PageFrames,
 		WindowNS:   cfg.WindowNS,
+		Lockstep:   cfg.Lockstep,
 		Recorder:   cfg.Recorder,
 	})
 	if err != nil {

@@ -12,7 +12,6 @@ import (
 	"goptm/internal/obs"
 	"goptm/internal/workload"
 	"goptm/internal/workload/btreebench"
-	"goptm/internal/workload/kvstore"
 	"goptm/internal/workload/tatp"
 	"goptm/internal/workload/tpcc"
 	"goptm/internal/workload/vacation"
@@ -142,31 +141,12 @@ type Figure struct {
 	Series   []Series
 }
 
-// RunPanel measures every (cell, thread-count) point of one panel.
-// Progress lines go to w (nil silences them).
+// RunPanel measures every (cell, thread-count) point of one panel
+// serially. Progress lines go to w (nil silences them). It is the
+// single-worker form of RunPanelOpts (sweep.go), which also takes a
+// result cache, a shard, and a worker count.
 func RunPanel(name string, mk WorkloadMaker, cells []Cell, p Params, w io.Writer) (Figure, error) {
-	fig := Figure{Name: name, Workload: mk.Name, Threads: p.Threads}
-	for _, cell := range cells {
-		s := Series{Cell: cell}
-		for _, n := range p.Threads {
-			rc := RunConfig{Threads: n, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS}
-			if p.Observe {
-				rc.Recorder = obs.New(n, false) // breakdown accounting, no event retention
-			}
-			res, err := Run(cell, rc, mk.Make(p))
-			if err != nil {
-				return fig, fmt.Errorf("%s %s @%d threads: %w", name, cell.Label(), n, err)
-			}
-			s.Results = append(s.Results, res)
-			if w != nil {
-				fmt.Fprintf(w, "  %s %-24s %2d threads: %10.0f ops/s (cache hit %.1f%%, p99 %d ns)\n",
-					mk.Name, cell.Label(), n, res.ThroughputOps,
-					100*res.Machine.HitRate(), res.Latency.Percentile(99))
-			}
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	return RunPanelOpts(name, mk, cells, p, serialOptions(w))
 }
 
 // Print renders the figure as an aligned text table (threads across,
@@ -182,6 +162,10 @@ func (f Figure) Print(w io.Writer) {
 	for _, s := range f.Series {
 		fmt.Fprintf(w, "%-26s", s.Cell.Label())
 		for _, r := range s.Results {
+			if r.Workload == "" { // sharded away
+				fmt.Fprintf(w, "%10s", "-")
+				continue
+			}
 			fmt.Fprintf(w, "%10.0f", r.ThroughputOps/1000)
 		}
 		fmt.Fprintln(w)
@@ -191,6 +175,7 @@ func (f Figure) Print(w io.Writer) {
 // WriteCSV emits the figure as machine-readable CSV: one row per
 // (curve, thread-count) point with throughput, ratio, latency
 // percentiles, and the full latency histogram as embedded JSON.
+// Points sharded away to another machine are omitted.
 func (f Figure) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"figure", "workload", "curve", "threads",
@@ -201,6 +186,9 @@ func (f Figure) WriteCSV(w io.Writer) error {
 	}
 	for _, s := range f.Series {
 		for i, r := range s.Results {
+			if r.Workload == "" { // sharded away
+				continue
+			}
 			hist, err := json.Marshal(&r.Latency)
 			if err != nil {
 				return err
@@ -263,6 +251,10 @@ func (f Figure) PrintRatios(w io.Writer) {
 	for _, s := range f.Series {
 		fmt.Fprintf(w, "%-26s", s.Cell.Label())
 		for _, r := range s.Results {
+			if r.Workload == "" { // sharded away
+				fmt.Fprintf(w, "%10s", "-")
+				continue
+			}
 			fmt.Fprintf(w, "%10.2f", r.CommitsPerAbort)
 		}
 		fmt.Fprintln(w)
@@ -279,17 +271,17 @@ func TableIOrIICells(algo core.Algo) []Cell {
 	}
 }
 
-// RunTable12 reproduces Table I (redo) or Table II (undo):
-// commits-per-abort for TPCC (Hash Table).
-func RunTable12(algo core.Algo, p Params, w io.Writer) (Figure, error) {
-	mk := WorkloadMaker{"tpcc-hash", func(p Params) workload.Workload {
+// table12Maker builds the Table I/II workload.
+func table12Maker() WorkloadMaker {
+	return WorkloadMaker{"tpcc-hash", func(p Params) workload.Workload {
 		return tpcc.New(tpcc.Config{Kind: tpcc.HashIndex})
 	}}
-	name := "Table I"
-	if algo == core.OrecEager {
-		name = "Table II"
-	}
-	return RunPanel(name, mk, TableIOrIICells(algo), p, w)
+}
+
+// RunTable12 reproduces Table I (redo) or Table II (undo):
+// commits-per-abort for TPCC (Hash Table), serially.
+func RunTable12(algo core.Algo, p Params, w io.Writer) (Figure, error) {
+	return RunTable12Opts(algo, p, serialOptions(w))
 }
 
 // Table3Row is one cell of Table III: the throughput gain from
@@ -302,11 +294,9 @@ type Table3Row struct {
 	Speedup  float64 // percent
 }
 
-// RunTable3 measures the fence-elision ablation at a low thread count
-// (the paper reports a latency snapshot; at saturation the WPQ-accept
-// wait would dominate and overstate the fence share).
-func RunTable3(p Params, w io.Writer) ([]Table3Row, error) {
-	makers := []WorkloadMaker{
+// table3Makers builds the four Table III workloads.
+func table3Makers() []WorkloadMaker {
+	return []WorkloadMaker{
 		{"tpcc-hash", func(p Params) workload.Workload {
 			return tpcc.New(tpcc.Config{Kind: tpcc.HashIndex})
 		}},
@@ -322,34 +312,13 @@ func RunTable3(p Params, w io.Writer) ([]Table3Row, error) {
 			return vacation.New(vacation.Config{Contention: vacation.High})
 		}},
 	}
-	const threads = 2
-	var rows []Table3Row
-	for _, mk := range makers {
-		for _, algo := range []core.Algo{core.OrecEager, core.OrecLazy} {
-			rc := RunConfig{Threads: threads, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS}
-			base, err := Run(Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: algo}, rc, mk.Make(p))
-			if err != nil {
-				return nil, err
-			}
-			nf, err := Run(Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: algo, NoFence: true}, rc, mk.Make(p))
-			if err != nil {
-				return nil, err
-			}
-			row := Table3Row{
-				Workload: mk.Name,
-				Algo:     algo,
-				Base:     base.ThroughputOps,
-				NoFence:  nf.ThroughputOps,
-				Speedup:  (nf.ThroughputOps/base.ThroughputOps - 1) * 100,
-			}
-			rows = append(rows, row)
-			if w != nil {
-				fmt.Fprintf(w, "  table3 %-14s %-5v: base %10.0f nofence %10.0f speedup %5.1f%%\n",
-					row.Workload, row.Algo, row.Base, row.NoFence, row.Speedup)
-			}
-		}
-	}
-	return rows, nil
+}
+
+// RunTable3 measures the fence-elision ablation at a low thread count
+// (the paper reports a latency snapshot; at saturation the WPQ-accept
+// wait would dominate and overstate the fence share), serially.
+func RunTable3(p Params, w io.Writer) ([]Table3Row, error) {
+	return RunTable3Opts(p, serialOptions(w))
 }
 
 // Fig8Point is one working-set measurement of Figure 8.
@@ -359,17 +328,21 @@ type Fig8Point struct {
 	Results map[string]float64 // cell label -> requests per second
 }
 
+// fig8Cells is the Figure 8 curve list, hoisted so the sweep, the CSV
+// writer, and the renderer all iterate the same slice.
+var fig8Cells = []Cell{
+	{Medium: core.MediumDRAM, Domain: durability.EADR, Algo: core.OrecLazy},
+	{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecEager},
+	{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy},
+	{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecEager},
+	{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecLazy},
+	{Medium: core.MediumNVM, Domain: durability.PDRAM, Algo: core.OrecLazy},
+	{Medium: core.MediumNVM, Domain: durability.PDRAMLite, Algo: core.OrecLazy},
+}
+
 // Fig8Cells returns the Figure 8 curves.
 func Fig8Cells() []Cell {
-	return []Cell{
-		{Medium: core.MediumDRAM, Domain: durability.EADR, Algo: core.OrecLazy},
-		{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecEager},
-		{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy},
-		{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecEager},
-		{Medium: core.MediumNVM, Domain: durability.EADR, Algo: core.OrecLazy},
-		{Medium: core.MediumNVM, Domain: durability.PDRAM, Algo: core.OrecLazy},
-		{Medium: core.MediumNVM, Domain: durability.PDRAMLite, Algo: core.OrecLazy},
-	}
+	return fig8Cells
 }
 
 // Fig8 capacity model (scaled ~1000x down from the paper's machine;
@@ -389,50 +362,28 @@ func Fig8ItemCounts(small bool) []int {
 	return []int{128, 1024, 2048, 3072, 4096, 6144, 8192}
 }
 
-// RunFig8 reproduces the memcached working-set study: one worker
-// thread, 50/50 get/set, throughput vs resident items.
+// RunFig8 reproduces the memcached working-set study serially: one
+// worker thread, 50/50 get/set, throughput vs resident items.
 func RunFig8(p Params, w io.Writer) ([]Fig8Point, error) {
-	var points []Fig8Point
-	for _, items := range Fig8ItemCounts(p.Small) {
-		pt := Fig8Point{
-			Items:   items,
-			WSBytes: kvstore.WorkingSetWords(items) * 8,
-			Results: map[string]float64{},
-		}
-		for _, cell := range Fig8Cells() {
-			kv := kvstore.New(kvstore.Config{Items: items})
-			rc := RunConfig{
-				Threads:    1,
-				WarmupNS:   p.WarmupNS,
-				MeasureNS:  p.MeasureNS,
-				L3Lines:    fig8L3Lines,
-				PageFrames: fig8PageFrames,
-			}
-			res, err := Run(cell, rc, kv)
-			if err != nil {
-				return nil, err
-			}
-			pt.Results[cell.Label()] = res.ThroughputOps
-			if w != nil {
-				fmt.Fprintf(w, "  fig8 items=%-6d %-24s %10.0f req/s\n", items, cell.Label(), res.ThroughputOps)
-			}
-		}
-		points = append(points, pt)
-	}
-	return points, nil
+	return RunFig8Opts(p, serialOptions(w))
 }
 
-// WriteFig8CSV emits the working-set sweep as CSV.
+// WriteFig8CSV emits the working-set sweep as CSV. Points sharded
+// away to another machine are omitted.
 func WriteFig8CSV(points []Fig8Point, w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"figure", "items", "working_set_bytes", "curve", "requests_per_s"}); err != nil {
 		return err
 	}
 	for _, p := range points {
-		for _, cell := range Fig8Cells() {
+		for _, cell := range fig8Cells {
+			rps, ok := p.Results[cell.Label()]
+			if !ok { // sharded away
+				continue
+			}
 			rec := []string{
 				"Figure 8", strconv.Itoa(p.Items), strconv.FormatUint(p.WSBytes, 10),
-				cell.Label(), strconv.FormatFloat(p.Results[cell.Label()], 'f', 0, 64),
+				cell.Label(), strconv.FormatFloat(rps, 'f', 0, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -451,10 +402,15 @@ func PrintFig8(points []Fig8Point, w io.Writer) {
 		fmt.Fprintf(w, "%10s", fmt.Sprintf("%dKB", p.WSBytes/1024))
 	}
 	fmt.Fprintln(w)
-	for _, cell := range Fig8Cells() {
+	for _, cell := range fig8Cells {
 		fmt.Fprintf(w, "%-26s", cell.Label())
 		for _, p := range points {
-			fmt.Fprintf(w, "%10.0f", p.Results[cell.Label()]/1000)
+			rps, ok := p.Results[cell.Label()]
+			if !ok { // sharded away
+				fmt.Fprintf(w, "%10s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%10.0f", rps/1000)
 		}
 		fmt.Fprintln(w)
 	}

@@ -3,7 +3,9 @@
 // with N worker threads for a virtual-time measurement window, and
 // reports throughput and commit/abort statistics. The experiment
 // definitions that regenerate each figure and table live in
-// experiments.go.
+// experiments.go; sweep.go decomposes them into independent jobs for
+// the parallel engine (internal/runner), which adds worker pooling,
+// content-addressed result caching, and CI sharding on top.
 package harness
 
 import (
@@ -54,6 +56,10 @@ type RunConfig struct {
 	HeapWords  uint64
 	MaxLog     int
 	WPQDepth   int // 0 = default (64)
+	// Lockstep selects the deterministic virtual-time scheduler, making
+	// the measurement bit-reproducible across runs and hosts. The sweep
+	// engine (sweep.go) always sets it; direct Run callers opt in.
+	Lockstep bool
 	// Recorder attaches observability to the run (phase breakdown, and
 	// trace events when the recorder traces). nil leaves it off; the
 	// instrumented paths then cost nothing.
@@ -125,6 +131,7 @@ func BuildTM(c Cell, rc RunConfig, w workload.Workload) (*core.TM, error) {
 		L3Lines:       rc.L3Lines,
 		PageFrames:    frames,
 		NoFence:       c.NoFence,
+		Lockstep:      rc.Lockstep,
 		Recorder:      rc.Recorder,
 	}
 	if rc.WPQDepth > 0 {

@@ -1,0 +1,248 @@
+package harness
+
+// sweep.go bridges the experiment definitions (experiments.go) to the
+// parallel engine (internal/runner): every figure and table is
+// decomposed into independent jobs — each owning its whole simulated
+// machine — and reassembled in definition order, so the rendered
+// output is byte-identical at any worker count. All sweep jobs run
+// under the lockstep scheduler, which is what makes a cell's result a
+// pure function of its configuration and therefore cacheable.
+
+import (
+	"fmt"
+	"io"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/obs"
+	"goptm/internal/runner"
+	"goptm/internal/workload/kvstore"
+)
+
+// SimVersion stamps every cache key. Bump it whenever a simulator
+// change can alter any measurement — timing model, scheduler,
+// workload generation — so stale cached results can never be mistaken
+// for current ones.
+const SimVersion = 1
+
+// SweepOptions configures how a sweep executes (not what it
+// measures — that stays in Params). The zero value is the serial,
+// uncached, unsharded path.
+type SweepOptions struct {
+	// Jobs bounds the worker pool; <= 0 selects GOMAXPROCS, 1 is serial.
+	Jobs int
+	// Cache, when non-nil, serves previously simulated points and
+	// stores fresh ones.
+	Cache *runner.Cache
+	// Shard restricts execution to this slice of the job list (CI
+	// splitting); skipped points render as "-".
+	Shard runner.Shard
+	// Progress receives per-cell completion lines and ETA (nil =
+	// silent).
+	Progress *runner.Progress
+}
+
+// pointKey is the canonical cache identity of one measurement. Field
+// order is the canonical JSON order — changing it orphans every
+// existing cache entry (bump SimVersion if you must).
+type pointKey struct {
+	Sim        int    `json:"sim"`
+	Workload   string `json:"workload"`
+	Cell       string `json:"cell"`
+	Threads    int    `json:"threads"`
+	WarmupNS   int64  `json:"warmup_ns"`
+	MeasureNS  int64  `json:"measure_ns"`
+	Small      bool   `json:"small"`
+	Observe    bool   `json:"observe"`
+	L3Lines    int    `json:"l3_lines,omitempty"`
+	PageFrames int    `json:"page_frames,omitempty"`
+	Items      int    `json:"items,omitempty"`
+}
+
+// panelJob builds the runner job for one (cell, thread-count) point.
+func panelJob(mk WorkloadMaker, cell Cell, n int, p Params) runner.Job[Result] {
+	return runner.Job[Result]{
+		Label: fmt.Sprintf("%s %s @%d", mk.Name, cell.Label(), n),
+		Key: runner.KeyJSON(pointKey{
+			Sim: SimVersion, Workload: mk.Name, Cell: cell.Label(),
+			Threads: n, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS,
+			Small: p.Small, Observe: p.Observe,
+		}),
+		CostNS: p.WarmupNS + p.MeasureNS,
+		Run: func() (Result, error) {
+			rc := RunConfig{Threads: n, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS, Lockstep: true}
+			if p.Observe {
+				rc.Recorder = obs.New(n, false) // breakdown accounting, no event retention
+			}
+			return Run(cell, rc, mk.Make(p))
+		},
+		Detail: func(r Result) string {
+			return fmt.Sprintf("%s %-24s %2d threads: %10.0f ops/s (cache hit %.1f%%, p99 %d ns)",
+				mk.Name, cell.Label(), n, r.ThroughputOps,
+				100*r.Machine.HitRate(), r.Latency.Percentile(99))
+		},
+	}
+}
+
+// RunPanelOpts measures every (cell, thread-count) point of one panel
+// through the parallel engine. Skipped (sharded-away) points stay
+// zero Results and render as "-".
+func RunPanelOpts(name string, mk WorkloadMaker, cells []Cell, p Params, opts SweepOptions) (Figure, error) {
+	fig := Figure{Name: name, Workload: mk.Name, Threads: p.Threads}
+	var jobs []runner.Job[Result]
+	for _, cell := range cells {
+		for _, n := range p.Threads {
+			jobs = append(jobs, panelJob(mk, cell, n, p))
+		}
+	}
+	outs, err := runner.Run(runnerOptions(opts), jobs)
+	if err != nil {
+		return fig, fmt.Errorf("%s: %w", name, err)
+	}
+	i := 0
+	for _, cell := range cells {
+		s := Series{Cell: cell}
+		for range p.Threads {
+			s.Results = append(s.Results, outs[i].Value)
+			i++
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunTable12Opts is RunTable12 through the parallel engine.
+func RunTable12Opts(algo core.Algo, p Params, opts SweepOptions) (Figure, error) {
+	mk := table12Maker()
+	name := "Table I"
+	if algo == core.OrecEager {
+		name = "Table II"
+	}
+	return RunPanelOpts(name, mk, TableIOrIICells(algo), p, opts)
+}
+
+// RunTable3Opts is RunTable3 through the parallel engine. One job is
+// one table row (the base + no-fence measurement pair): the two runs
+// share a row, so splitting them would only reorder progress lines.
+func RunTable3Opts(p Params, opts SweepOptions) ([]Table3Row, error) {
+	const threads = 2
+	var jobs []runner.Job[Table3Row]
+	for _, mk := range table3Makers() {
+		for _, algo := range []core.Algo{core.OrecEager, core.OrecLazy} {
+			mk, algo := mk, algo
+			cell := Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: algo}
+			jobs = append(jobs, runner.Job[Table3Row]{
+				Label: fmt.Sprintf("table3 %s %v", mk.Name, algo),
+				Key: runner.KeyJSON(pointKey{
+					Sim: SimVersion, Workload: "table3/" + mk.Name, Cell: cell.Label(),
+					Threads: threads, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS,
+					Small: p.Small,
+				}),
+				CostNS: 2 * (p.WarmupNS + p.MeasureNS),
+				Run: func() (Table3Row, error) {
+					rc := RunConfig{Threads: threads, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS, Lockstep: true}
+					base, err := Run(cell, rc, mk.Make(p))
+					if err != nil {
+						return Table3Row{}, err
+					}
+					nfCell := cell
+					nfCell.NoFence = true
+					nf, err := Run(nfCell, rc, mk.Make(p))
+					if err != nil {
+						return Table3Row{}, err
+					}
+					return Table3Row{
+						Workload: mk.Name,
+						Algo:     algo,
+						Base:     base.ThroughputOps,
+						NoFence:  nf.ThroughputOps,
+						Speedup:  (nf.ThroughputOps/base.ThroughputOps - 1) * 100,
+					}, nil
+				},
+				Detail: func(row Table3Row) string {
+					return fmt.Sprintf("table3 %-14s %-5v: base %10.0f nofence %10.0f speedup %5.1f%%",
+						row.Workload, row.Algo, row.Base, row.NoFence, row.Speedup)
+				},
+			})
+		}
+	}
+	outs, err := runner.Run(runnerOptions(opts), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("Table III: %w", err)
+	}
+	rows := make([]Table3Row, len(outs))
+	for i, o := range outs {
+		rows[i] = o.Value
+	}
+	return rows, nil
+}
+
+// RunFig8Opts is RunFig8 through the parallel engine: one job per
+// (working-set size, cell) point. Skipped points are absent from a
+// point's Results map and render as "-".
+func RunFig8Opts(p Params, opts SweepOptions) ([]Fig8Point, error) {
+	cells := fig8Cells
+	items := Fig8ItemCounts(p.Small)
+	var jobs []runner.Job[Result]
+	for _, n := range items {
+		for _, cell := range cells {
+			n, cell := n, cell
+			jobs = append(jobs, runner.Job[Result]{
+				Label: fmt.Sprintf("fig8 items=%d %s", n, cell.Label()),
+				Key: runner.KeyJSON(pointKey{
+					Sim: SimVersion, Workload: "fig8/kvstore", Cell: cell.Label(),
+					Threads: 1, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS,
+					Small: p.Small, L3Lines: fig8L3Lines, PageFrames: fig8PageFrames,
+					Items: n,
+				}),
+				CostNS: p.WarmupNS + p.MeasureNS,
+				Run: func() (Result, error) {
+					rc := RunConfig{
+						Threads:    1,
+						WarmupNS:   p.WarmupNS,
+						MeasureNS:  p.MeasureNS,
+						L3Lines:    fig8L3Lines,
+						PageFrames: fig8PageFrames,
+						Lockstep:   true,
+					}
+					return Run(cell, rc, kvstore.New(kvstore.Config{Items: n}))
+				},
+				Detail: func(r Result) string {
+					return fmt.Sprintf("fig8 items=%-6d %-24s %10.0f req/s", n, cell.Label(), r.ThroughputOps)
+				},
+			})
+		}
+	}
+	outs, err := runner.Run(runnerOptions(opts), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("Figure 8: %w", err)
+	}
+	var points []Fig8Point
+	i := 0
+	for _, n := range items {
+		pt := Fig8Point{
+			Items:   n,
+			WSBytes: kvstore.WorkingSetWords(n) * 8,
+			Results: map[string]float64{},
+		}
+		for _, cell := range cells {
+			if outs[i].Source != runner.Skipped {
+				pt.Results[cell.Label()] = outs[i].Value.ThroughputOps
+			}
+			i++
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// runnerOptions translates SweepOptions to the runner's form.
+func runnerOptions(o SweepOptions) runner.Options {
+	return runner.Options{Jobs: o.Jobs, Shard: o.Shard, Cache: o.Cache, Progress: o.Progress}
+}
+
+// serialOptions wraps a legacy verbose writer in a Progress so the
+// io.Writer entry points keep printing per-point lines.
+func serialOptions(w io.Writer) SweepOptions {
+	return SweepOptions{Jobs: 1, Progress: runner.NewProgress(w, nil)}
+}

@@ -80,7 +80,15 @@ type Config struct {
 	L3Lines    int        // shared L3 size; 0 selects 16K lines (1 MB)
 	PageFrames int        // DRAM page-cache frames (PDRAM/PDRAM-Lite); 0 selects 1024
 	WindowNS   int64      // barrier window; 0 selects simtime.DefaultWindow
-	Lat        Latency    // zero value selects DefaultLatency
+	// Lockstep selects the deterministic virtual-time scheduler:
+	// threads take turns in id order within each barrier window, so a
+	// simulation is bit-identical across runs and hosts (the experiment
+	// runner requires this for its result cache and for serial/parallel
+	// equivalence). The default concurrent scheduler exploits host
+	// cores within a window but is reproducible only up to
+	// barrier-window interleaving.
+	Lockstep bool
+	Lat      Latency // zero value selects DefaultLatency
 	// NoPrefetch / NoAsyncWriteback disable the Memory-Mode controller
 	// optimizations (II-A) for ablation.
 	NoPrefetch       bool
@@ -140,7 +148,7 @@ func New(cfg Config) (*Bus, error) {
 		dev:    dev,
 		cache:  cachesim.New(cachesim.DefaultConfig(cfg.Threads, cfg.L3Lines)),
 		ctl:    wpq.New(cfg.Ctl),
-		engine: simtime.NewEngine(cfg.WindowNS),
+		engine: newEngine(cfg),
 		domain: cfg.Domain,
 		rec:    cfg.Recorder,
 	}
@@ -161,6 +169,14 @@ func New(cfg Config) (*Bus, error) {
 		}, b.ctl)
 	}
 	return b, nil
+}
+
+// newEngine picks the virtual-time scheduler the config asks for.
+func newEngine(cfg Config) *simtime.Engine {
+	if cfg.Lockstep {
+		return simtime.NewLockstepEngine(cfg.WindowNS)
+	}
+	return simtime.NewEngine(cfg.WindowNS)
 }
 
 // MustNew is New but panics on error.

@@ -72,12 +72,14 @@ const (
 	TrackCacheHitRate                // CPU cache hit rate, percent
 	TrackPageResidency               // resident Memory-Mode page-cache frames
 	TrackPageDirty                   // dirty page-cache frames
+	TrackSweepCells                  // experiment-sweep cells completed (runner progress)
 	NumTracks
 )
 
 var trackNames = [NumTracks]string{
 	"wpq_occupancy", "media_write_busy_ms", "media_read_busy_ms",
 	"cache_hit_pct", "pagecache_resident", "pagecache_dirty",
+	"sweep_cells_done",
 }
 
 // String names the counter track as the trace exporter does.

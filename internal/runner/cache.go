@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed store of experiment results. An entry
+// lives at <dir>/<sha256-of-canonical-config-JSON>.json and holds both
+// the config that produced it and the result, so entries are
+// self-describing and a digest collision or a truncated file reads as
+// a miss, never as a wrong result.
+//
+// The config JSON is the cache key: any field that can change the
+// measurement — including the simulator-version stamp the harness
+// embeds (see harness.SimVersion) — must be part of it. Results must
+// round-trip through encoding/json exactly; the harness Result type
+// is built to (see stats.Histogram's UnmarshalJSON).
+//
+// A Cache is safe for concurrent use by the worker pool and, thanks
+// to the write-temp-then-rename store path, also tolerant of multiple
+// processes sharing one directory (the CI shard jobs do).
+type Cache struct {
+	dir                  string
+	hits, misses, stores atomic.Int64
+}
+
+// cacheEntry is the on-disk envelope.
+type cacheEntry struct {
+	Config json.RawMessage `json:"config"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// KeyJSON renders v as the canonical config JSON used for content
+// addressing. encoding/json emits struct fields in declaration order,
+// so a fixed key struct yields stable bytes.
+func KeyJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Key structs are plain data; a marshal failure is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("runner: unmarshalable cache key: %v", err))
+	}
+	return b
+}
+
+// path maps a config key to its content-addressed file.
+func (c *Cache) path(keyJSON []byte) string {
+	sum := sha256.Sum256(keyJSON)
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get looks up the result for keyJSON and decodes it into out (a
+// pointer). It reports whether a valid entry was found; any unreadable,
+// corrupt, or mismatching entry counts as a miss.
+func (c *Cache) Get(keyJSON []byte, out any) bool {
+	if c == nil {
+		return false
+	}
+	data, err := os.ReadFile(c.path(keyJSON))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || !bytes.Equal(e.Config, keyJSON) {
+		c.misses.Add(1)
+		return false
+	}
+	if json.Unmarshal(e.Result, out) != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Put stores result (a pointer, so custom marshalers apply) under
+// keyJSON. The write goes to a temp file first and is renamed into
+// place, so concurrent readers and writers never observe a torn entry.
+func (c *Cache) Put(keyJSON []byte, result any) error {
+	if c == nil {
+		return nil
+	}
+	res, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	data, err := json.Marshal(cacheEntry{Config: keyJSON, Result: res})
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	dst := c.path(keyJSON)
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	c.stores.Add(1)
+	return nil
+}
+
+// Invalidate removes every entry (the -cache-invalidate flag).
+func (c *Cache) Invalidate() error {
+	if c == nil {
+		return nil
+	}
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := os.Remove(n); err != nil {
+			return fmt.Errorf("runner: invalidate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of entries on disk.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	names, _ := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	return len(names)
+}
+
+// Stats reports cumulative lookup hits, misses, and stores.
+func (c *Cache) Stats() (hits, misses, stores int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.stores.Load()
+}

@@ -1,0 +1,43 @@
+package runner
+
+import "fmt"
+
+// Shard names one slice of a sweep for splitting across CI machines:
+// shard Index of Count owns every job whose index ≡ Index (mod Count).
+// Round-robin assignment balances the shards even when a sweep's
+// expensive cells cluster (high thread counts sit at the end of each
+// series). The zero value owns everything.
+type Shard struct {
+	Index int // 0-based
+	Count int // total shards; <= 1 disables sharding
+}
+
+// Owns reports whether job i belongs to this shard.
+func (s Shard) Owns(i int) bool {
+	return s.Count <= 1 || i%s.Count == s.Index
+}
+
+// ParseShard parses the CLI form "i/n" with 1-based i, e.g. "2/3" for
+// the second of three shards. The empty string is the run-everything
+// zero value.
+func ParseShard(spec string) (Shard, error) {
+	if spec == "" {
+		return Shard{}, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil {
+		return Shard{}, fmt.Errorf("runner: shard %q: want \"i/n\"", spec)
+	}
+	if n < 1 || i < 1 || i > n {
+		return Shard{}, fmt.Errorf("runner: shard %q: need 1 <= i <= n", spec)
+	}
+	return Shard{Index: i - 1, Count: n}, nil
+}
+
+// String renders the shard in CLI form ("" for the zero value).
+func (s Shard) String() string {
+	if s.Count <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index+1, s.Count)
+}

@@ -30,7 +30,23 @@ const DefaultWindow = 1000
 
 // Engine coordinates the virtual clocks of a set of threads.
 //
-// The zero value is not usable; call NewEngine.
+// Two scheduling modes exist. The default (concurrent) mode lets all
+// attached threads run on host cores simultaneously and only
+// synchronizes at window boundaries; intra-window interleaving is
+// whatever the host scheduler produces, so results are reproducible
+// only "up to barrier-window interleaving". Lockstep mode
+// (NewLockstepEngine) instead runs exactly one thread at a time —
+// within each window, threads execute one after another in ascending
+// id order, each until its clock crosses the window boundary. That
+// makes a simulation a pure function of its configuration and seeds:
+// bit-identical across runs, hosts, and host load, which is what the
+// experiment runner's result cache and serial/parallel equivalence
+// rely on. The synchronization frequency is the same in both modes
+// (one handoff per thread per window); lockstep merely forfeits
+// intra-cell host parallelism, which the experiment runner wins back
+// by running independent cells on different cores.
+//
+// The zero value is not usable; call NewEngine or NewLockstepEngine.
 type Engine struct {
 	winSize int64
 	window  atomic.Int64 // current window end (exclusive)
@@ -38,11 +54,20 @@ type Engine struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	active  int // attached, running threads
-	waiting int // threads blocked at the window boundary
+	waiting int // threads blocked at the window boundary (concurrent mode)
+
+	// Lockstep-mode state: at most one thread (the "floor" holder)
+	// executes at any instant; the rest are parked. A thread is granted
+	// the floor only when every attached thread is parked, so the grant
+	// order — ascending id among threads whose clock is inside the
+	// current window — cannot depend on goroutine start-up races.
+	lockstep bool
+	floor    *Thread
+	parked   []*Thread
 }
 
-// NewEngine returns an engine whose barrier window is winSize virtual
-// nanoseconds. winSize <= 0 selects DefaultWindow.
+// NewEngine returns a concurrent-mode engine whose barrier window is
+// winSize virtual nanoseconds. winSize <= 0 selects DefaultWindow.
 func NewEngine(winSize int64) *Engine {
 	if winSize <= 0 {
 		winSize = DefaultWindow
@@ -52,6 +77,19 @@ func NewEngine(winSize int64) *Engine {
 	e.window.Store(winSize)
 	return e
 }
+
+// NewLockstepEngine returns a deterministic engine: threads take
+// turns in ascending id order within each window instead of racing on
+// host cores, so repeated simulations are bit-identical. See the
+// Engine doc for the trade-off.
+func NewLockstepEngine(winSize int64) *Engine {
+	e := NewEngine(winSize)
+	e.lockstep = true
+	return e
+}
+
+// Lockstep reports whether the engine schedules deterministically.
+func (e *Engine) Lockstep() bool { return e.lockstep }
 
 // WindowSize reports the barrier window in virtual nanoseconds.
 func (e *Engine) WindowSize() int64 { return e.winSize }
@@ -105,14 +143,73 @@ func (e *Engine) advanceWindowLocked() {
 
 // detach removes a thread from the barrier set. If the detaching
 // thread was the only one the rest were waiting for, the window is
-// advanced so they can proceed.
-func (e *Engine) detach() {
+// advanced (concurrent mode) or the floor is handed on (lockstep) so
+// they can proceed.
+func (e *Engine) detach(t *Thread) {
 	e.mu.Lock()
 	e.active--
-	if e.active > 0 && e.waiting >= e.active {
+	if e.lockstep {
+		if e.floor == t {
+			e.floor = nil
+		} else {
+			for i, p := range e.parked {
+				if p == t {
+					e.parked = append(e.parked[:i], e.parked[i+1:]...)
+					break
+				}
+			}
+		}
+		e.scheduleLocked()
+	} else if e.active > 0 && e.waiting >= e.active {
 		e.advanceWindowLocked()
 	}
 	e.mu.Unlock()
+}
+
+// park blocks t until the lockstep scheduler grants it the floor.
+// On return t is the engine's only executing thread.
+func (e *Engine) park(t *Thread) {
+	e.mu.Lock()
+	if e.floor == t {
+		e.floor = nil
+	}
+	e.parked = append(e.parked, t)
+	e.scheduleLocked()
+	for e.floor != t {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// scheduleLocked grants the floor to the next runnable thread:
+// the lowest-id parked thread whose clock is inside the current
+// window, advancing the window when no parked thread qualifies.
+// Grants happen only when every attached thread is parked — a thread
+// that is attached but still running toward its first engine call
+// (or toward its park) pauses scheduling until it arrives, which
+// keeps the turn order independent of goroutine start-up timing.
+// Caller holds e.mu.
+func (e *Engine) scheduleLocked() {
+	if !e.lockstep || e.floor != nil || e.active == 0 || len(e.parked) < e.active {
+		return
+	}
+	for {
+		w := e.window.Load()
+		best := -1
+		for i, th := range e.parked {
+			if th.clock < w && (best < 0 || th.id < e.parked[best].id) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			t := e.parked[best]
+			e.parked = append(e.parked[:best], e.parked[best+1:]...)
+			e.floor = t
+			e.cond.Broadcast()
+			return
+		}
+		e.window.Store(w + e.winSize)
+	}
 }
 
 // Thread is one simulated hardware thread's virtual clock. All methods
@@ -122,13 +219,34 @@ type Thread struct {
 	id     int
 	clock  int64
 	done   bool
+	// hasFloor tracks lockstep-mode floor ownership. It is read and
+	// written only by the owning goroutine (the engine's grant is
+	// observed through the park loop before the flag is set).
+	hasFloor bool
 }
 
 // ID reports the thread's identifier as passed to NewThread.
 func (t *Thread) ID() int { return t.id }
 
-// Now reports the thread's current virtual time in nanoseconds.
-func (t *Thread) Now() int64 { return t.clock }
+// ensureFloor blocks until the thread holds the lockstep floor (the
+// right to be the engine's only executing thread). It is a no-op in
+// concurrent mode, when the floor is already held, or after Detach.
+func (t *Thread) ensureFloor() {
+	if !t.engine.lockstep || t.done || t.hasFloor {
+		return
+	}
+	t.engine.park(t)
+	t.hasFloor = true
+}
+
+// Now reports the thread's current virtual time in nanoseconds. In
+// lockstep mode this is also the point where a freshly attached
+// thread first takes its turn, so worker loops serialize before they
+// touch any shared simulated state.
+func (t *Thread) Now() int64 {
+	t.ensureFloor()
+	return t.clock
+}
 
 // Advance moves the thread's clock forward by d nanoseconds, blocking
 // at window boundaries until other threads catch up. d < 0 panics.
@@ -141,14 +259,22 @@ func (t *Thread) Advance(d int64) {
 
 // AdvanceTo moves the thread's clock forward to vt if vt is in the
 // future; a vt in the past is a no-op (the thread has already passed
-// it). Blocks at window boundaries.
+// it). Blocks at window boundaries; in lockstep mode crossing a
+// boundary also yields the floor so the next thread can take its turn.
 func (t *Thread) AdvanceTo(vt int64) {
+	t.ensureFloor()
 	if vt <= t.clock {
 		return
 	}
 	t.clock = vt
 	if vt >= t.engine.window.Load() {
-		t.engine.waitUntil(vt)
+		if t.engine.lockstep {
+			t.hasFloor = false
+			t.engine.park(t)
+			t.hasFloor = true
+		} else {
+			t.engine.waitUntil(vt)
+		}
 	}
 }
 
@@ -160,5 +286,6 @@ func (t *Thread) Detach() {
 		return
 	}
 	t.done = true
-	t.engine.detach()
+	t.hasFloor = false
+	t.engine.detach(t)
 }

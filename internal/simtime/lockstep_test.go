@@ -1,0 +1,146 @@
+package simtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLockstepMutualExclusion checks the floor invariant: in lockstep
+// mode at most one thread executes between engine calls, regardless of
+// host scheduling.
+func TestLockstepMutualExclusion(t *testing.T) {
+	e := NewLockstepEngine(1000)
+	const threads = 8
+	var running atomic.Int32
+	var wg sync.WaitGroup
+	ths := make([]*Thread, threads)
+	for i := range ths {
+		ths[i] = e.NewThread(i)
+	}
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(th *Thread, seed uint64) {
+			defer wg.Done()
+			defer th.Detach()
+			r := NewRand(seed)
+			for th.Now() < 50_000 {
+				if n := running.Add(1); n != 1 {
+					t.Errorf("%d threads running concurrently", n)
+				}
+				running.Add(-1)
+				th.Advance(int64(1 + r.Intn(700)))
+			}
+		}(ths[i], uint64(i))
+	}
+	wg.Wait()
+}
+
+// TestLockstepDeterministicOrder checks that the execution order —
+// which thread advances at which virtual time — is identical across
+// repeated runs, which is the property the experiment runner's result
+// cache depends on.
+func TestLockstepDeterministicOrder(t *testing.T) {
+	type step struct {
+		id int
+		vt int64
+	}
+	run := func() []step {
+		e := NewLockstepEngine(1000)
+		const threads = 6
+		var mu sync.Mutex
+		var trace []step
+		var wg sync.WaitGroup
+		ths := make([]*Thread, threads)
+		for i := range ths {
+			ths[i] = e.NewThread(i)
+		}
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(th *Thread, seed uint64) {
+				defer wg.Done()
+				defer th.Detach()
+				r := NewRand(seed)
+				for th.Now() < 30_000 {
+					// The floor serializes execution, so the
+					// unsynchronized-looking append is actually ordered.
+					mu.Lock()
+					trace = append(trace, step{th.ID(), th.Now()})
+					mu.Unlock()
+					th.Advance(int64(1 + r.Intn(1500)))
+				}
+			}(ths[i], uint64(i)*13+1)
+		}
+		wg.Wait()
+		return trace
+	}
+	first := run()
+	for rep := 0; rep < 3; rep++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("rep %d: %d steps, want %d", rep, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("rep %d: step %d = %+v, want %+v", rep, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+// TestLockstepWindowOrder checks the documented schedule: within one
+// window threads take turns in ascending id order.
+func TestLockstepWindowOrder(t *testing.T) {
+	e := NewLockstepEngine(1000)
+	const threads = 4
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	ths := make([]*Thread, threads)
+	for i := range ths {
+		ths[i] = e.NewThread(i)
+	}
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for th.Now() < 3_000 {
+				mu.Lock()
+				order = append(order, th.ID())
+				mu.Unlock()
+				th.Advance(1000) // exactly one turn per window
+			}
+		}(ths[i])
+	}
+	wg.Wait()
+	// Expect 0,1,2,3 repeated for each window.
+	for i, id := range order {
+		if id != i%threads {
+			t.Fatalf("order[%d] = %d, want %d (full order %v)", i, id, i%threads, order)
+		}
+	}
+}
+
+// TestLockstepDetachHandsOn checks that a detaching floor holder does
+// not strand parked threads.
+func TestLockstepDetachHandsOn(t *testing.T) {
+	e := NewLockstepEngine(1000)
+	a, b := e.NewThread(0), e.NewThread(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.Advance(500)
+		a.Detach() // holds the floor here; b must still finish
+	}()
+	go func() {
+		defer wg.Done()
+		defer b.Detach()
+		b.Advance(10_000)
+	}()
+	wg.Wait()
+	if b.Now() < 10_000 {
+		t.Fatalf("b stopped at %d", b.Now())
+	}
+}

@@ -108,8 +108,23 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
+// histogramJSON is the wire form of a Histogram: a human-readable
+// summary plus the exact state (buckets, sum, max) needed to rebuild
+// the distribution losslessly on unmarshal.
+type histogramJSON struct {
+	Count   int64    `json:"count"`
+	MeanNS  float64  `json:"mean_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P95NS   int64    `json:"p95_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	SumNS   int64    `json:"sum_ns"`
+	Buckets []Bucket `json:"buckets"`
+}
+
 // MarshalJSON encodes the distribution as a summary plus the non-empty
-// buckets, the form the CSV export embeds per measurement row.
+// buckets, the form the CSV export embeds per measurement row and the
+// experiment result cache stores. UnmarshalJSON inverts it exactly.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
 	var buckets []Bucket
 	for i, c := range h.counts {
@@ -117,15 +132,34 @@ func (h *Histogram) MarshalJSON() ([]byte, error) {
 			buckets = append(buckets, Bucket{LoNS: int64(1) << uint(i) >> 1, Count: c})
 		}
 	}
-	return json.Marshal(struct {
-		Count   int64    `json:"count"`
-		MeanNS  float64  `json:"mean_ns"`
-		P50NS   int64    `json:"p50_ns"`
-		P95NS   int64    `json:"p95_ns"`
-		P99NS   int64    `json:"p99_ns"`
-		MaxNS   int64    `json:"max_ns"`
-		Buckets []Bucket `json:"buckets"`
-	}{h.total, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max, buckets})
+	return json.Marshal(histogramJSON{
+		Count: h.total, MeanNS: h.Mean(),
+		P50NS: h.Percentile(50), P95NS: h.Percentile(95), P99NS: h.Percentile(99),
+		MaxNS: h.max, SumNS: h.sum, Buckets: buckets,
+	})
+}
+
+// UnmarshalJSON rebuilds the histogram from its MarshalJSON form. The
+// round trip is exact: counts, sum, and max are restored verbatim, so
+// every percentile and the re-marshalled bytes come out identical —
+// the property the content-addressed result cache relies on.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*h = Histogram{total: w.Count, sum: w.SumNS, max: w.MaxNS}
+	for _, b := range w.Buckets {
+		if b.LoNS < 0 {
+			return fmt.Errorf("stats: negative bucket bound %d", b.LoNS)
+		}
+		i := bits.Len64(uint64(b.LoNS)) // inverse of LoNS = 1<<i>>1
+		if i >= Buckets {
+			return fmt.Errorf("stats: bucket bound %d out of range", b.LoNS)
+		}
+		h.counts[i] = b.Count
+	}
+	return nil
 }
 
 // String summarizes the distribution.
