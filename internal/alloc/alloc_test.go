@@ -408,3 +408,152 @@ func TestLargeAllocationBeyondClasses(t *testing.T) {
 	// enter a size-class list.
 	h2.Free(ctx2, big)
 }
+
+// crashAttach crashes the bus with an adversarial fault plan and
+// re-attaches the heap, returning the fresh context, heap, and sweep
+// count. ctx is consumed.
+func crashAttach(t *testing.T, b *membus.Bus, ctx *membus.Context, faults []memdev.LineFault) (*membus.Context, *Heap, int) {
+	t.Helper()
+	vt := ctx.Now()
+	ctx.Detach()
+	b.CrashWith(vt, faults)
+	ctx2 := b.NewContext(0)
+	h2, swept, err := Attach(ctx2, 0, 1<<16, 8)
+	if err != nil {
+		t.Fatalf("attach after crash: %v", err)
+	}
+	return ctx2, h2, swept
+}
+
+func TestRecoveryCrashMidAllocHeaderLost(t *testing.T) {
+	// Crash in the middle of Alloc: the new block's header clwb was
+	// issued but never fenced, and the WPQ loses it. Recovery's parse
+	// must stop at the vanished header (treating it as the true
+	// frontier, even though the stored frontier points past it) and
+	// hand the space out again.
+	b, ctx, h := setup(t)
+	a1 := h.Alloc(ctx, 10)
+	h.SetRoot(ctx, 0, a1) // fences a1's header too
+	a2 := h.Alloc(ctx, 10)
+
+	ctx2, h2, swept := crashAttach(t, b, ctx, []memdev.LineFault{
+		{Line: memdev.LineOf(a2 - 1), Kind: memdev.FaultDrop},
+	})
+	defer ctx2.Detach()
+	if swept != 0 {
+		t.Fatalf("swept = %d, want 0 (a2 should have vanished, not been swept)", swept)
+	}
+	if h2.LiveBlocks() != 1 {
+		t.Fatalf("live = %d, want 1", h2.LiveBlocks())
+	}
+	if got := h2.Alloc(ctx2, 10); got != a2 {
+		t.Fatalf("frontier not rewound: re-alloc gave %#x, want %#x", uint64(got), uint64(a2))
+	}
+}
+
+func TestRecoveryStaleFrontierSweepsLeak(t *testing.T) {
+	// The dual: the header became durable but the frontier publish was
+	// lost. The parse must walk past the stored frontier, find the
+	// orphaned (unreachable) block, and sweep it back onto the free
+	// lists.
+	b, ctx, h := setup(t)
+	a1 := h.Alloc(ctx, 10)
+	h.SetRoot(ctx, 0, a1)
+	a2 := h.Alloc(ctx, 10)
+
+	ctx2, h2, swept := crashAttach(t, b, ctx, []memdev.LineFault{
+		{Line: memdev.LineOf(0 + offFrontier), Kind: memdev.FaultDrop},
+	})
+	defer ctx2.Detach()
+	if swept != 1 {
+		t.Fatalf("swept = %d, want 1 (the orphaned block)", swept)
+	}
+	if got := h2.Alloc(ctx2, 10); got != a2 {
+		t.Fatalf("swept block not reused: got %#x, want %#x", uint64(got), uint64(a2))
+	}
+}
+
+func TestRecoveryMidFreeResurrectsReachable(t *testing.T) {
+	// Crash between Free's persistent header update and the caller
+	// unlinking the block: the header says free, the roots still reach
+	// it. Recovery must resurrect it as allocated — a reachable block
+	// on the free lists would be handed out twice.
+	b, ctx, h := setup(t)
+	a1 := h.Alloc(ctx, 10)
+	h.SetRoot(ctx, 0, a1)
+	h.Free(ctx, a1)
+
+	ctx2, h2, swept := crashAttach(t, b, ctx, nil)
+	defer ctx2.Detach()
+	if swept != 0 {
+		t.Fatalf("swept = %d, want 0", swept)
+	}
+	if h2.LiveBlocks() != 1 {
+		t.Fatalf("live = %d, want 1 (reachable block must be resurrected)", h2.LiveBlocks())
+	}
+	if fresh := h2.Alloc(ctx2, 10); fresh == a1 {
+		t.Fatal("resurrected block handed out again")
+	}
+}
+
+func TestRecoveryMidFreeHeaderLostStillSwept(t *testing.T) {
+	// Crash during Free of an unreachable block with the header update
+	// lost in the WPQ: media still says allocated, but nothing reaches
+	// the block, so the conservative sweep reclaims it and the
+	// free-list rebuild makes it allocatable again.
+	b, ctx, h := setup(t)
+	a1 := h.Alloc(ctx, 10)
+	h.SetRoot(ctx, 0, a1)
+	h.SetRoot(ctx, 0, 0) // unlink, durably
+	h.Free(ctx, a1)
+
+	ctx2, h2, swept := crashAttach(t, b, ctx, []memdev.LineFault{
+		{Line: memdev.LineOf(a1 - 1), Kind: memdev.FaultDrop},
+	})
+	defer ctx2.Detach()
+	if swept != 1 {
+		t.Fatalf("swept = %d, want 1", swept)
+	}
+	if h2.LiveBlocks() != 0 {
+		t.Fatalf("live = %d, want 0", h2.LiveBlocks())
+	}
+	if got := h2.Alloc(ctx2, 10); got != a1 {
+		t.Fatalf("swept block not reused: got %#x, want %#x", uint64(got), uint64(a1))
+	}
+}
+
+func TestRecoveryFreeListSplitCrash(t *testing.T) {
+	// Carve several same-class blocks out of the frontier, free the
+	// middle one, and crash while its space is being recycled into a
+	// new allocation (header rewrite in flight, lost by the WPQ). The
+	// parse must still see the free block (its old header is durable)
+	// and re-offer it; neighbors keep their identity.
+	b, ctx, h := setup(t)
+	a1 := h.Alloc(ctx, 10)
+	a2 := h.Alloc(ctx, 10)
+	a3 := h.Alloc(ctx, 10)
+	h.SetRoot(ctx, 0, a1)
+	h.SetRoot(ctx, 1, a3)
+	h.Free(ctx, a2)
+	ctx.SFence() // the free marking is durable
+	if re := h.Alloc(ctx, 10); re != a2 {
+		t.Fatalf("free list did not recycle %#x (got %#x)", uint64(a2), uint64(re))
+	}
+	// The recycling Alloc's header rewrite is still unfenced: lose it.
+	ctx2, h2, swept := crashAttach(t, b, ctx, []memdev.LineFault{
+		{Line: memdev.LineOf(a2 - 1), Kind: memdev.FaultDrop},
+	})
+	defer ctx2.Detach()
+	if swept != 1 {
+		t.Fatalf("swept = %d, want 1 (the recycled-then-lost block)", swept)
+	}
+	if h2.LiveBlocks() != 2 {
+		t.Fatalf("live = %d, want 2", h2.LiveBlocks())
+	}
+	if got := h2.Alloc(ctx2, 10); got != a2 {
+		t.Fatalf("block not re-offered after crash: got %#x, want %#x", uint64(got), uint64(a2))
+	}
+	if h2.Root(ctx2, 0) != a1 || h2.Root(ctx2, 1) != a3 {
+		t.Fatal("neighbor roots corrupted")
+	}
+}

@@ -133,6 +133,13 @@ type Config struct {
 	// log-write strategy the reference runtime supports. Meaningful
 	// for OrecLazy under ADR.
 	NTStoreLog bool
+	// MutateDropFence elides the single named fence site (e.g.
+	// "lazy:F3", "eager:Fw" — see Thread.fence call sites) while
+	// keeping every other fence. It exists solely for the crash
+	// checker's mutation self-test: dropping one ordering fence must be
+	// caught by the checker, proving the oracle has teeth. Never set it
+	// outside tests.
+	MutateDropFence string
 
 	// Recorder attaches the observability layer: phase-breakdown
 	// accounting and (when the recorder traces) Perfetto span/counter
@@ -178,24 +185,69 @@ const (
 	offDescs    = 8
 )
 
-// Descriptor layout: one status line followed by the log entries.
+// Descriptor layout: one marker line followed by the log entries.
 //
-//	word 0: status
-//	word 1: valid entry count (durable at commit for redo; per-write
-//	        for undo)
+//	word 0: packed commit marker — status (2 bits) | entry count
+//	        (30 bits) | log checksum (32 bits); see packMarker
+//	words 1..7: reserved (zero)
 //	words 8..: entries, two words each (addr, value)
+//
+// Packing status, count, and checksum into ONE word is what makes the
+// marker crash-atomic: an 8-byte store either lands whole or not at
+// all (powerfail atomicity of the media), so recovery can never
+// observe a status from one epoch with a count or checksum from
+// another — the torn-marker hazard a two-word marker has under
+// adversarial word-granularity tears. The checksum covers the 2*count
+// entry words and lets recovery reject a marker whose log tail never
+// became durable (a stale or prematurely-evicted marker), the
+// validation PMDK's redo log performs with its own log checksum.
 const (
-	descStatusOff = 0
-	descCountOff  = 1
+	descStatusOff = 0 // the packed marker word (historic name kept for tests)
 	descEntries   = 8
 )
 
-// Transaction status values stored in the descriptor.
+// Transaction status values stored in the marker's status field. Idle
+// must be zero so a freshly formatted (all-zero) descriptor reads as
+// idle.
 const (
 	statusIdle          = 0
 	statusRedoCommitted = 1 // redo log complete; replay on recovery
 	statusUndoActive    = 2 // undo log live; roll back on recovery
 )
+
+// Marker field widths.
+const (
+	markerCountBits = 30
+	markerCountMax  = 1<<markerCountBits - 1
+)
+
+// packMarker builds the single-word commit marker. An idle marker is
+// exactly zero.
+func packMarker(status int, count int, hash uint32) uint64 {
+	if status == statusIdle {
+		return 0
+	}
+	return uint64(status)<<62 | uint64(count&markerCountMax)<<32 | uint64(hash)
+}
+
+// unpackMarker splits a marker word into its fields.
+func unpackMarker(w uint64) (status int, count int, hash uint32) {
+	return int(w >> 62), int(w >> 32 & markerCountMax), uint32(w)
+}
+
+// logHashSeed/mix32 implement the FNV-1a-style fold the marker
+// checksum uses: cheap, order-sensitive, and good enough to reject a
+// stale or torn log tail (this is an integrity check against lost
+// persists, not an adversary-resistant MAC).
+const logHashSeed uint32 = 2166136261
+
+func mix32(h uint32, x uint64) uint32 {
+	h ^= uint32(x)
+	h *= 16777619
+	h ^= uint32(x >> 32)
+	h *= 16777619
+	return h
+}
 
 func (c *Config) withDefaults() Config {
 	cfg := *c

@@ -13,8 +13,9 @@ import (
 //
 //	write     : 1. acquire the orec (CAS, abort on conflict)
 //	            2. append (addr, old value) to the undo log; store the
-//	               new count and status=ACTIVE; flush entry and
-//	               descriptor lines; FENCE        <- one fence PER WRITE
+//	               packed marker (status=ACTIVE | count | checksum);
+//	               flush entry and descriptor lines; FENCE
+//	                                              <- one fence PER WRITE
 //	            3. store the new value in place; flush the data line
 //	commit    : fence (data flushes ordered), validate reads,
 //	            store status=IDLE, flush, fence, release orecs at the
@@ -92,17 +93,21 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 	old := th.ctx.Load(a)
 	th.undo = append(th.undo, undoRec{addr: a, old: old})
 
-	// Durable undo record, ordered before the in-place update.
+	// Durable undo record, ordered before the in-place update. The
+	// marker checksum grows incrementally with each record; recovery
+	// uses it to reject a log tail that never became durable.
 	logStart := th.ctx.Now()
+	th.tm.hook("eager:pre-log", th)
 	ea := th.entryAddr(i)
 	th.ctx.Store(ea, uint64(a))
 	th.ctx.Store(ea+1, old)
 	th.ctx.CLWB(ea)
-	th.ctx.Store(th.desc+descCountOff, uint64(i+1))
-	th.ctx.Store(th.desc+descStatusOff, statusUndoActive)
+	th.logHash = mix32(mix32(th.logHash, uint64(a)), old)
+	th.tm.hook("eager:pre-marker", th)
+	th.ctx.Store(th.desc+descStatusOff, packMarker(statusUndoActive, i+1, th.logHash))
 	th.ctx.CLWB(th.desc)
 	th.rec.Span(obs.PhaseDrain, logStart, th.ctx.Now())
-	th.fence() // the O(W) fence
+	th.fence("eager:Fw") // the O(W) fence
 	th.tm.hook("eager:post-log", th)
 
 	// In-place speculative update.
@@ -110,6 +115,7 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 	th.ctx.Store(a, v)
 	th.ctx.CLWB(a)
 	th.rec.Span(obs.PhaseDrain, updateStart, th.ctx.Now())
+	th.tm.hook("eager:post-update", th)
 }
 
 // commitEager finishes an undo transaction.
@@ -120,7 +126,7 @@ func (th *Thread) commitEager(tx *Tx) {
 	}
 	// All in-place data flushes must be durable before the log is
 	// discarded.
-	th.fence()
+	th.fence("eager:Fc1")
 
 	validateStart := th.ctx.Now()
 	if !th.validateReadSet() {
@@ -130,10 +136,11 @@ func (th *Thread) commitEager(tx *Tx) {
 	th.tm.hook("eager:pre-clear", th)
 
 	commitStart := th.ctx.Now()
-	th.ctx.Store(th.desc+descStatusOff, statusIdle)
+	th.ctx.Store(th.desc+descStatusOff, packMarker(statusIdle, 0, 0))
 	th.ctx.CLWB(th.desc)
 	th.rec.Span(obs.PhaseCommit, commitStart, th.ctx.Now())
-	th.fence()
+	th.fence("eager:Fc2")
+	th.tm.hook("eager:post-clear", th)
 
 	wv := th.tm.orecs.IncClock()
 	th.ctx.MetaOp()
@@ -151,11 +158,12 @@ func (th *Thread) rollbackEager() {
 		th.ctx.Store(r.addr, r.old)
 		th.ctx.CLWB(r.addr)
 	}
-	th.fence()
+	th.fence("eager:Fr1")
 	if len(th.undo) > 0 {
-		th.ctx.Store(th.desc+descStatusOff, statusIdle)
+		th.ctx.Store(th.desc+descStatusOff, packMarker(statusIdle, 0, 0))
 		th.ctx.CLWB(th.desc)
-		th.fence()
+		th.fence("eager:Fr2")
+		th.tm.hook("eager:post-rollback", th)
 	}
 	th.releaseLocksRestoring()
 }

@@ -116,9 +116,16 @@ func (th *Thread) commitHTM(tx *Tx) {
 	th.rec.Span(obs.PhaseValidate, validateStart, th.ctx.Now())
 	commitStart := th.ctx.Now()
 	wv := t.IncClock()
+	// The publish loop below is the model of a TSX commit, which real
+	// hardware performs atomically: either every speculative line is
+	// published (and, under eADR, durable) or none is. A crash checker
+	// therefore must not cut execution inside the loop — the hooks
+	// bracket it instead.
+	th.tm.hook("htm:pre-publish", th)
 	for _, e := range th.wlog {
 		th.ctx.Store(e.addr, e.val)
 	}
+	th.tm.hook("htm:post-publish", th)
 	th.ctx.Compute(htmCommitCost)
 	th.releaseLocks(wv)
 	th.rec.Span(obs.PhaseCommit, commitStart, th.ctx.Now())

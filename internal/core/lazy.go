@@ -18,8 +18,9 @@ import (
 //	commit    : 1. acquire orecs for the write set (CAS, abort on
 //	               conflict), validate the read set;
 //	            2. flush outstanding log lines, fence            (F1)
-//	            3. store count+status=COMMITTED, flush, fence    (F2)
-//	               -> durable commit point
+//	            3. store the packed marker (status=COMMITTED |
+//	               count | log checksum), flush, fence           (F2)
+//	               -> durable commit point (one crash-atomic word)
 //	            4. in-place writeback, flush touched lines, fence(F3)
 //	            5. store status=IDLE, flush (log reclaimed)
 //	            6. advance clock, release orecs at the new version
@@ -174,20 +175,27 @@ func (th *Thread) commitLazy(tx *Tx) {
 	if th.tm.cfg.BatchedFlush {
 		start = 0
 	}
+	th.tm.hook("lazy:pre-log-flush", th)
 	for e := start; e < len(th.wlog); e += memdev.WordsPerLine / 2 {
 		th.ctx.CLWB(th.entryAddr(e))
 	}
 	th.rec.Span(obs.PhaseDrain, drainStart, th.ctx.Now())
-	th.fence() // F1: log entries before marker
+	th.fence("lazy:F1") // F1: log entries before marker
 	th.tm.hook("lazy:pre-marker", th)
 
-	// 3. Durable commit point.
+	// 3. Durable commit point: one packed marker word carrying status,
+	// count, and the log checksum, so the commit point is a single
+	// crash-atomic store (see the layout comment in config.go).
 	commitStart := th.ctx.Now()
-	th.ctx.Store(th.desc+descCountOff, uint64(len(th.wlog)))
-	th.ctx.Store(th.desc+descStatusOff, statusRedoCommitted)
+	h := logHashSeed
+	for _, e := range th.wlog {
+		h = mix32(h, uint64(e.addr))
+		h = mix32(h, e.val)
+	}
+	th.ctx.Store(th.desc+descStatusOff, packMarker(statusRedoCommitted, len(th.wlog), h))
 	th.ctx.CLWB(th.desc)
 	th.rec.Span(obs.PhaseCommit, commitStart, th.ctx.Now())
-	th.fence() // F2: marker durable before writeback
+	th.fence("lazy:F2") // F2: marker durable before writeback
 	th.tm.hook("lazy:post-marker", th)
 
 	wv := t.IncClock()
@@ -210,13 +218,14 @@ func (th *Thread) commitLazy(tx *Tx) {
 		}
 	}
 	th.rec.Span(obs.PhaseDrain, writebackStart, th.ctx.Now())
-	th.fence() // F3: data durable before log reclaim
+	th.fence("lazy:F3") // F3: data durable before log reclaim
 	th.tm.hook("lazy:post-writeback", th)
 
 	// 5. Reclaim the log.
 	reclaimStart := th.ctx.Now()
-	th.ctx.Store(th.desc+descStatusOff, statusIdle)
+	th.ctx.Store(th.desc+descStatusOff, packMarker(statusIdle, 0, 0))
 	th.ctx.CLWB(th.desc)
+	th.tm.hook("lazy:post-reclaim", th)
 
 	// 6. Publish.
 	th.releaseLocks(wv)

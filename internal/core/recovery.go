@@ -10,11 +10,12 @@ import (
 
 // RecoveryReport summarizes what post-crash recovery did.
 type RecoveryReport struct {
-	RedoReplayed   int   // transactions whose redo logs were re-applied
-	UndoRolledBack int   // transactions whose undo logs were rolled back
-	EntriesApplied int   // total log entries written during recovery
-	BlocksSwept    int   // heap blocks reclaimed by the allocator's GC
-	DurationNS     int64 // virtual time recovery took (log pass + heap GC)
+	RedoReplayed    int   // transactions whose redo logs were re-applied
+	UndoRolledBack  int   // transactions whose undo logs were rolled back
+	EntriesApplied  int   // total log entries written during recovery
+	MarkersRejected int   // markers whose log checksum did not match (stale/torn tail discarded)
+	BlocksSwept     int   // heap blocks reclaimed by the allocator's GC
+	DurationNS      int64 // virtual time recovery took (log pass + heap GC)
 }
 
 // Recover brings the persistent image back to a transactionally
@@ -42,17 +43,33 @@ func (tm *TM) Recover() (RecoveryReport, error) {
 
 	for t := 0; t < tm.cfg.Threads; t++ {
 		d := tm.descBase(t)
-		status := ctx.Load(d + descStatusOff)
-		count := ctx.Load(d + descCountOff)
-		if count > uint64(tm.cfg.MaxLogEntries) {
+		status, count, hash := unpackMarker(ctx.Load(d + descStatusOff))
+		if count > tm.cfg.MaxLogEntries {
 			return rep, fmt.Errorf("core: thread %d log count %d exceeds capacity %d (corrupt descriptor)", t, count, tm.cfg.MaxLogEntries)
+		}
+		// Recompute the marker checksum over the log entries as they
+		// landed on media; a mismatch means the log tail never became
+		// durable before the crash (a stale or prematurely-persisted
+		// marker) and must not be trusted.
+		mediaHash := logHashSeed
+		for i := 0; i < count; i++ {
+			ea := d + descEntries + memdev.Addr(2*i)
+			mediaHash = mix32(mix32(mediaHash, ctx.Load(ea)), ctx.Load(ea+1))
 		}
 		switch status {
 		case statusIdle:
 			continue
 		case statusRedoCommitted:
+			if mediaHash != hash {
+				// The redo log is incomplete, so the commit point was
+				// never durably reached: the transaction did not commit
+				// and its target data is untouched (writeback only
+				// starts after the marker fence). Discard the log.
+				rep.MarkersRejected++
+				break
+			}
 			rep.RedoReplayed++
-			for i := 0; i < int(count); i++ {
+			for i := 0; i < count; i++ {
 				ea := d + descEntries + memdev.Addr(2*i)
 				a := memdev.Addr(ctx.Load(ea))
 				v := ctx.Load(ea + 1)
@@ -62,8 +79,20 @@ func (tm *TM) Recover() (RecoveryReport, error) {
 			}
 			ctx.SFence()
 		case statusUndoActive:
+			n := count
+			if mediaHash != hash {
+				// Only the final record can be non-durable: each write
+				// fences its record before updating in place, so every
+				// earlier record was ordered by an earlier fence. A
+				// mismatch therefore means the crash hit before the
+				// final record's fence — and before its in-place
+				// update, which cannot precede that fence. Roll back
+				// everything but the unstable last record.
+				rep.MarkersRejected++
+				n = count - 1
+			}
 			rep.UndoRolledBack++
-			for i := int(count) - 1; i >= 0; i-- {
+			for i := n - 1; i >= 0; i-- {
 				ea := d + descEntries + memdev.Addr(2*i)
 				a := memdev.Addr(ctx.Load(ea))
 				old := ctx.Load(ea + 1)
@@ -75,8 +104,7 @@ func (tm *TM) Recover() (RecoveryReport, error) {
 		default:
 			return rep, fmt.Errorf("core: thread %d has unknown status %d", t, status)
 		}
-		ctx.Store(d+descStatusOff, statusIdle)
-		ctx.Store(d+descCountOff, 0)
+		ctx.Store(d+descStatusOff, packMarker(statusIdle, 0, 0))
 		ctx.CLWB(d)
 		ctx.SFence()
 	}

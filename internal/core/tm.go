@@ -33,8 +33,18 @@ type TM struct {
 }
 
 // SetCrashHook installs a protocol-point callback (testing only).
-// Points: "lazy:pre-marker", "lazy:post-marker", "lazy:mid-writeback",
-// "lazy:post-writeback", "eager:post-log", "eager:pre-clear".
+// Points, in protocol order:
+//
+//	lazy  : "lazy:pre-log-flush", "lazy:pre-marker", "lazy:post-marker",
+//	        "lazy:mid-writeback", "lazy:post-writeback",
+//	        "lazy:post-reclaim"
+//	eager : "eager:pre-log", "eager:pre-marker", "eager:post-log",
+//	        "eager:post-update" (per write); "eager:pre-clear",
+//	        "eager:post-clear" (commit); "eager:post-rollback" (abort)
+//	htm   : "htm:pre-publish", "htm:post-publish" (the publish loop
+//	        between them models a hardware-atomic TSX commit and must
+//	        not be cut)
+//
 // To simulate an instant power failure, the hook should panic with a
 // PowerFailure value: Atomic propagates it without rolling anything
 // back, leaving the persistent image exactly as the crash found it.
@@ -121,8 +131,7 @@ func New(cfg Config) (*TM, error) {
 	setup.CLWB(tm.base)
 	for t := 0; t < cfg.Threads; t++ {
 		d := tm.descBase(t)
-		setup.Store(d+descStatusOff, statusIdle)
-		setup.Store(d+descCountOff, 0)
+		setup.Store(d+descStatusOff, packMarker(statusIdle, 0, 0))
 		setup.CLWB(d)
 	}
 	setup.SFence()
@@ -211,6 +220,14 @@ func (tm *TM) Root(th *Thread, slot int) memdev.Addr {
 // a consistent state before reuse.
 func (tm *TM) Crash(vt int64) {
 	tm.bus.Crash(vt)
+	tm.orecs.Reset()
+}
+
+// CrashWith is Crash with an adversarial fault plan layered on the
+// domain's policy (see memdev.CrashWith); the crash checker uses it to
+// explore worst-case WPQ drains and torn lines.
+func (tm *TM) CrashWith(vt int64, faults []memdev.LineFault) {
+	tm.bus.CrashWith(vt, faults)
 	tm.orecs.Reset()
 }
 

@@ -161,8 +161,11 @@ func TestCrashDuringRecoveryReplay(t *testing.T) {
 		ctx.CLWB(d + descEntries + memdev.Addr(2*i))
 	}
 	ctx.SFence()
-	ctx.Store(d+descCountOff, 16)
-	ctx.Store(d+descStatusOff, statusRedoCommitted)
+	h := logHashSeed
+	for i := 0; i < 16; i++ {
+		h = mix32(mix32(h, uint64(base)+uint64(i)), 3)
+	}
+	ctx.Store(d+descStatusOff, packMarker(statusRedoCommitted, 16, h))
 	ctx.CLWB(d)
 	ctx.SFence()
 	// Partial replay: first 5 cells flushed, then the lights go out.

@@ -131,8 +131,9 @@ type Thread struct {
 	allocs  []memdev.Addr
 	frees   []memdev.Addr
 
-	mode        Algo // algorithm of the current attempt (HTM may fall back)
-	capacityHit bool // the HTM attempt overflowed; fall back immediately
+	logHash     uint32 // running marker checksum over the undo log
+	mode        Algo   // algorithm of the current attempt (HTM may fall back)
+	capacityHit bool   // the HTM attempt overflowed; fall back immediately
 	stats       ThreadStats
 	latency     stats.Histogram     // committed-transaction latency (virtual ns)
 	rec         *obs.ThreadRecorder // nil when observability is off
@@ -188,9 +189,15 @@ func (th *Thread) entryAddr(i int) memdev.Addr {
 	return th.desc + descEntries + memdev.Addr(2*i)
 }
 
-// fence issues an sfence unless the NoFence ablation elides it.
-func (th *Thread) fence() {
-	if th.tm.cfg.NoFence {
+// fence issues an sfence unless the NoFence ablation elides every
+// fence, or the MutateDropFence mutation elides this named site.
+// Sites: "lazy:F1" (log before marker), "lazy:F2" (marker before
+// writeback), "lazy:F3" (writeback before log reclaim), "eager:Fw"
+// (undo record before in-place update), "eager:Fc1" (in-place data
+// before log discard), "eager:Fc2" (idle marker durable),
+// "eager:Fr1"/"eager:Fr2" (rollback restores / idle marker).
+func (th *Thread) fence(site string) {
+	if th.tm.cfg.NoFence || th.tm.cfg.MutateDropFence == site {
 		return
 	}
 	th.ctx.SFence()
@@ -330,6 +337,7 @@ func (th *Thread) beginAttempt() {
 	th.rset = th.rset[:0]
 	th.wlog = th.wlog[:0]
 	th.flushed = 0
+	th.logHash = logHashSeed
 	clear(th.lockVer)
 	th.locks = th.locks[:0]
 	th.undo = th.undo[:0]

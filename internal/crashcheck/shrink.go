@@ -1,0 +1,148 @@
+// Shrinking and replay: a Violation found by the campaign is reduced
+// to a minimal, self-contained Repro — the fewest ops and the fewest
+// injected faults that still trip the oracle — which serializes to
+// JSON and replays bit-identically on any machine.
+//
+// Shrinking leans on the determinism argument from workload.go: ops
+// are pure functions of (seed, index), so running fewer ops emits a
+// strict prefix of the original persist-event stream. A crash at event
+// k therefore lands on the identical machine state as long as k still
+// falls inside the shortened run, letting the shrinker cut the op
+// count without searching for a new crash coordinate.
+package crashcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+// Repro is a self-contained, replayable description of one
+// crash-consistency violation.
+type Repro struct {
+	Workload string             `json:"workload"`
+	Algo     string             `json:"algo"`
+	Domain   string             `json:"domain"`
+	Seed     uint64             `json:"seed"`
+	Ops      int                `json:"ops"`
+	Event    int                `json:"event"`
+	Faults   []memdev.LineFault `json:"faults,omitempty"`
+	Mutate   string             `json:"mutate_drop_fence,omitempty"`
+	Detail   string             `json:"detail"`
+}
+
+// parseAlgo maps the serialized algorithm name back (counterpart of
+// core.Algo.String()).
+func parseAlgo(name string) (core.Algo, error) {
+	for _, a := range []core.Algo{core.OrecLazy, core.OrecEager, core.AlgoHTM} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("crashcheck: unknown algorithm %q", name)
+}
+
+// optionsFor rebuilds checker Options from a repro's serialized
+// identity.
+func optionsFor(r *Repro) (Options, error) {
+	wl, err := Lookup(r.Workload, r.Seed)
+	if err != nil {
+		return Options{}, err
+	}
+	algo, err := parseAlgo(r.Algo)
+	if err != nil {
+		return Options{}, err
+	}
+	dom, err := durability.Parse(r.Domain)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{Workload: wl, Algo: algo, Domain: dom, Ops: r.Ops, MutateDropFence: r.Mutate}, nil
+}
+
+// Shrink minimizes a violation to a Repro:
+//
+//  1. Op count: ops after the in-flight one never execute before the
+//     crash, so cut the run to committed+1 ops (prefix determinism
+//     keeps event k valid — the crash fired inside op committed+1 or
+//     earlier). Verified, not assumed: if the shortened run no longer
+//     violates, fall back to the original count.
+//  2. Faults: try each single fault from the plan alone; the first
+//     one that still violates replaces the full plan.
+//
+// The result is re-verified end to end before being returned.
+func Shrink(o Options, v *Violation) (*Repro, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	ops, faults := v.Ops, v.Faults
+
+	// Phase 1: drop the never-executed tail of the op schedule.
+	if min := v.Committed + 1; min < ops {
+		small := o
+		small.Ops = min
+		if sv, err := small.CheckVariant(v.Event, faults); err == nil && sv != nil {
+			o, ops = small, min
+		}
+	}
+
+	// Phase 2: minimize the fault plan to a single injected fault.
+	if len(faults) > 1 {
+		for _, f := range faults {
+			one := []memdev.LineFault{f}
+			if sv, err := o.CheckVariant(v.Event, one); err == nil && sv != nil {
+				faults = one
+				break
+			}
+		}
+	}
+
+	final, err := o.CheckVariant(v.Event, faults)
+	if err != nil {
+		return nil, err
+	}
+	if final == nil {
+		return nil, fmt.Errorf("crashcheck: shrunk schedule no longer violates (non-deterministic workload?)")
+	}
+	return &Repro{
+		Workload: v.Workload, Algo: v.Algo, Domain: v.Domain, Seed: v.Seed,
+		Ops: ops, Event: v.Event, Faults: faults, Mutate: o.MutateDropFence,
+		Detail: final.Detail,
+	}, nil
+}
+
+// Replay re-executes a repro and returns the violation it reproduces,
+// or nil if the underlying bug has been fixed.
+func Replay(r *Repro) (*Violation, error) {
+	o, err := optionsFor(r)
+	if err != nil {
+		return nil, err
+	}
+	return o.CheckVariant(r.Event, r.Faults)
+}
+
+// WriteFile serializes the repro as indented JSON.
+func (r *Repro) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro back from disk.
+func LoadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("crashcheck: %s: %w", path, err)
+	}
+	return &r, nil
+}

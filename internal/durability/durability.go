@@ -57,6 +57,17 @@ func All() []Domain {
 	return []Domain{NoReserve, ADR, EADR, PDRAM, PDRAMLite}
 }
 
+// Parse maps a conventional domain name (as produced by String) back
+// to the Domain, for CLI flags and replayable repro files.
+func Parse(name string) (Domain, error) {
+	for _, d := range All() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("durability: unknown domain %q", name)
+}
+
 // Valid reports whether d is a defined domain.
 func (d Domain) Valid() bool {
 	return d >= NoReserve && d <= PDRAMLite

@@ -26,8 +26,12 @@ type Context struct {
 
 	pendingFence int64 // latest clwb accept time since the last fence
 	wcLine       int64 // NT write-combining buffer: current line, -1 if empty
-	stats        Stats
-	rec          *obs.ThreadRecorder // nil when observability is off
+	// unfenced lists NVM lines flushed since the last sfence: their WPQ
+	// entries are not yet ordered (see memdev.WPQMarkOrdered) and are
+	// fair game for the crash checker's adversarial drops.
+	unfenced []uint64
+	stats    Stats
+	rec      *obs.ThreadRecorder // nil when observability is off
 }
 
 // NewContext attaches a thread context. tid must be unique and in
@@ -75,6 +79,9 @@ func (c *Context) Store(a memdev.Addr, v uint64) {
 	c.stats.Stores++
 	c.access(a, true)
 	c.bus.dev.Store(a, v)
+	if c.bus.tap != nil && c.bus.dev.IsNVM(a) {
+		c.bus.tap(PersistEvent{Kind: PEStore, Addr: a, Line: uint64(a) >> memdev.LineShift, TID: c.tid})
+	}
 }
 
 // access runs the cache/pagecache/media timing for one word access.
@@ -175,6 +182,9 @@ func (c *Context) NTStore(a memdev.Addr, v uint64) {
 		}
 		b.dev.Store(a, v)
 		c.th.Advance(b.lat.StoreHit)
+		if b.tap != nil {
+			b.tap(PersistEvent{Kind: PENTStore, Addr: a, Line: uint64(line), TID: c.tid})
+		}
 		return
 	}
 	b.dev.Store(a, v)
@@ -183,6 +193,9 @@ func (c *Context) NTStore(a memdev.Addr, v uint64) {
 		c.pendingFence = done
 	}
 	c.th.Advance(b.lat.StoreHit)
+	if b.tap != nil && b.dev.IsNVM(a) {
+		b.tap(PersistEvent{Kind: PENTStore, Addr: a, Line: uint64(a) >> memdev.LineShift, TID: c.tid})
+	}
 }
 
 // flushWC drains the write-combining buffer into the WPQ. A crash
@@ -201,6 +214,10 @@ func (c *Context) flushWC() {
 	c.rec.Span(obs.PhaseWPQStall, now, accept)
 	if accept > c.pendingFence {
 		c.pendingFence = accept
+	}
+	c.unfenced = append(c.unfenced, line)
+	if b.tap != nil {
+		b.tap(PersistEvent{Kind: PEWCDrain, Addr: memdev.LineAddr(line), Line: line, TID: c.tid})
 	}
 }
 
@@ -233,6 +250,10 @@ func (c *Context) CLWB(a memdev.Addr) {
 			c.pendingFence = accept
 		}
 		c.th.Advance(b.lat.CLWBNvm)
+		c.unfenced = append(c.unfenced, line)
+		if b.tap != nil {
+			b.tap(PersistEvent{Kind: PECLWB, Addr: a, Line: line, TID: c.tid})
+		}
 		return
 	}
 	done := b.ctl.WriteDRAM(now)
@@ -260,4 +281,11 @@ func (c *Context) SFence() {
 	c.th.AdvanceTo(target)
 	c.rec.Span(obs.PhaseFenceWait, start, target)
 	c.pendingFence = 0
+	if len(c.unfenced) > 0 {
+		b.dev.WPQMarkOrdered(c.unfenced)
+		c.unfenced = c.unfenced[:0]
+	}
+	if b.tap != nil {
+		b.tap(PersistEvent{Kind: PESFence, TID: c.tid})
+	}
 }

@@ -113,9 +113,66 @@ type Bus struct {
 
 	routeMu sync.RWMutex
 	routed  []pageRange // sorted, disjoint; used by PDRAM-Lite
+
+	// tap observes persist-relevant events (SetPersistTap); nil when
+	// disabled, which is the measurement configuration.
+	tap func(PersistEvent)
 }
 
 type pageRange struct{ lo, hi uint64 } // [lo, hi) page numbers
+
+// PersistEventKind classifies the persist-relevant memory events a
+// crash checker can cut execution at.
+type PersistEventKind uint8
+
+// The persist-relevant event kinds. Each marks a boundary where the
+// durable state changes: a store dirties a line, a clwb moves it
+// toward the WPQ, an sfence orders prior flushes, an NT store lands in
+// a write-combining buffer, and a WC drain moves that buffer into the
+// WPQ.
+const (
+	PEStore PersistEventKind = iota
+	PECLWB
+	PESFence
+	PENTStore
+	PEWCDrain
+)
+
+// String names the kind for reports and repro files.
+func (k PersistEventKind) String() string {
+	switch k {
+	case PEStore:
+		return "store"
+	case PECLWB:
+		return "clwb"
+	case PESFence:
+		return "sfence"
+	case PENTStore:
+		return "ntstore"
+	case PEWCDrain:
+		return "wcdrain"
+	default:
+		return fmt.Sprintf("PersistEventKind(%d)", int(k))
+	}
+}
+
+// PersistEvent describes one persist-relevant operation, delivered to
+// the tap installed with SetPersistTap immediately after the operation
+// takes effect.
+type PersistEvent struct {
+	Kind PersistEventKind
+	Addr memdev.Addr // the accessed word (line base for WC drains)
+	Line uint64      // NVM line number
+	TID  int
+}
+
+// SetPersistTap installs a callback observing every persist-relevant
+// NVM event, or removes it with nil. The tap is how the crash checker
+// discovers and counts persist boundaries, and how it cuts execution
+// at one (by panicking with core.PowerFailure from inside the tap).
+// Install or clear only while no simulated threads are running; the
+// tap runs on the simulated thread's goroutine.
+func (b *Bus) SetPersistTap(fn func(PersistEvent)) { b.tap = fn }
 
 // New assembles the memory system.
 func New(cfg Config) (*Bus, error) {
@@ -260,10 +317,19 @@ func (b *Bus) routedNVM(a memdev.Addr) bool {
 // volatile image, since the simulated store is write-through; see the
 // pagecache package doc).
 func (b *Bus) Crash(vt int64) {
+	b.CrashWith(vt, nil)
+}
+
+// CrashWith is Crash with an adversarial fault plan applied to the
+// device policy (see memdev.CrashWith). The WPQ controller's in-flight
+// ring is reset afterward: queued drain deadlines are hardware state
+// that does not survive the failure.
+func (b *Bus) CrashWith(vt int64, faults []memdev.LineFault) {
 	if b.pcache != nil {
 		b.pcache.Drop()
 	}
-	b.dev.Crash(vt, b.domain)
+	b.dev.CrashWith(vt, b.domain, faults)
+	b.ctl.Reset()
 }
 
 // Quiesce cleanly drains all pending persistence traffic (orderly

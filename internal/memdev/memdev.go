@@ -61,6 +61,12 @@ type Config struct {
 type pendingWrite struct {
 	payload [WordsPerLine]uint64
 	drainVT int64 // virtual time at which the drain completes
+	// ordered records that the issuing thread has executed an sfence
+	// after the flush was accepted: on real hardware only then is the
+	// line guaranteed to have left the core's store path and entered
+	// the durability domain. Unordered entries are what the crash
+	// checker's adversarial fault model is allowed to drop or tear.
+	ordered bool
 }
 
 // Device is the simulated memory device. Word loads and stores are
@@ -184,10 +190,35 @@ func (d *Device) WPQAccept(ln uint64, drainVT int64) {
 	}
 	p.drainVT = drainVT
 	d.mu.Lock()
+	if old, ok := d.pending[ln]; ok && old.ordered {
+		// The fence that ordered the old entry guaranteed its drain; a
+		// later flush of the same line cannot revoke that. Commit it to
+		// media now so adversarial outcomes for the superseding entry
+		// (drop, tear) resolve against the fenced image rather than
+		// resurrecting the pre-fence one.
+		for w := uint64(0); w < WordsPerLine; w++ {
+			d.nvmMedia[base+w] = old.payload[w]
+		}
+	}
 	d.pending[ln] = p
 	d.mu.Unlock()
 	atomic.StoreUint32(&d.lineState[ln], LineInWPQ)
 	d.flushes.Add(1)
+}
+
+// WPQMarkOrdered records that the issuing thread has fenced the given
+// lines: their currently pending snapshots are guaranteed to have
+// entered the durability domain. Lines with no pending entry (already
+// drained, or superseded) are skipped.
+func (d *Device) WPQMarkOrdered(lines []uint64) {
+	d.mu.Lock()
+	for _, ln := range lines {
+		if p, ok := d.pending[ln]; ok {
+			p.ordered = true
+			d.pending[ln] = p
+		}
+	}
+	d.mu.Unlock()
 }
 
 // PendingLines reports how many line flushes are sitting in the
@@ -218,36 +249,7 @@ func (d *Device) Stats() (stores, flushes int64) {
 // DRAM-cached NVM pages *before* calling Crash when the domain
 // requires it.
 func (d *Device) Crash(vt int64, dom durability.Domain) {
-	d.mu.Lock()
-	for ln, p := range d.pending {
-		if dom.WPQPersists() || p.drainVT <= vt {
-			base := ln << LineShift
-			for w := uint64(0); w < WordsPerLine; w++ {
-				d.nvmMedia[base+w] = p.payload[w]
-			}
-		}
-	}
-	d.pending = make(map[uint64]pendingWrite)
-	d.mu.Unlock()
-
-	if dom.CachePersists() {
-		for ln := range d.lineState {
-			if atomic.LoadUint32(&d.lineState[ln]) == LineDirtyCache {
-				base := uint64(ln) << LineShift
-				for w := uint64(0); w < WordsPerLine; w++ {
-					d.nvmMedia[base+w] = atomic.LoadUint64(&d.nvmVol[base+w])
-				}
-			}
-		}
-	}
-
-	copy(d.nvmVol, d.nvmMedia)
-	for i := range d.dramVol {
-		d.dramVol[i] = 0
-	}
-	for i := range d.lineState {
-		atomic.StoreUint32(&d.lineState[i], LineClean)
-	}
+	d.CrashWith(vt, dom, nil)
 }
 
 // MediaWriteLine writes a full line of payload directly to NVM media

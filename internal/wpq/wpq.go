@@ -124,6 +124,23 @@ func (c *Controller) SetObserver(fn func(acceptVT, stallNS int64, occupancy int)
 	c.mu.Unlock()
 }
 
+// Reset clears the queue state after a simulated power failure: the
+// ring of in-flight drain times and the per-thread write streams are
+// hardware state that does not survive reboot. Port busy-time servers
+// are left alone (they only accumulate utilization statistics, and
+// virtual time itself keeps advancing across the crash).
+func (c *Controller) Reset() {
+	c.mu.Lock()
+	for i := range c.ring {
+		c.ring[i] = 0
+	}
+	c.ringPos = 0
+	for i := range c.lastLine {
+		c.lastLine[i] = noLine
+	}
+	c.mu.Unlock()
+}
+
 // EnqueueNVM accepts a line flush into the WPQ at virtual time now on
 // behalf of thread tid. It returns the accept time (when the flush has
 // entered the ADR domain — what a clwb+sfence waits for) and the drain
