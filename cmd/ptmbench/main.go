@@ -44,6 +44,7 @@ import (
 	"goptm/internal/durability"
 	"goptm/internal/harness"
 	"goptm/internal/obs"
+	"goptm/internal/perfbench"
 	"goptm/internal/runner"
 	"goptm/internal/workload"
 	"goptm/internal/workload/kvstore"
@@ -64,11 +65,20 @@ func main() {
 	cacheInvalidate := flag.Bool("cache-invalidate", false, "drop every cached result first (implies -cache)")
 	shardSpec := flag.String("shard", "", "run only shard i of n (\"i/n\", 1-based) for CI splitting")
 	sweepTrace := flag.String("sweeptrace", "", "write a Perfetto trace of the sweep's own progress to this file")
+	perfJSON := flag.String("perfjson", "", "run the simulator hot-path perf suite and write the BENCH report JSON to this file (skips figure sweeps)")
+	perfBaseline := flag.String("perfbaseline", "", "previously written perf report to attach as the baseline of -perfjson (computes the sweep speedup)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "ptmbench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *perfJSON != "" {
+		if err := runPerfSuite(*perfJSON, *perfBaseline); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *tracePath != "" {
@@ -237,6 +247,39 @@ func runFigure(n int, p harness.Params, opts harness.SweepOptions, csvOut io.Wri
 		return fmt.Errorf("unknown figure %d", n)
 	}
 	return nil
+}
+
+// runPerfSuite measures the simulator's own hot-path speed (see
+// internal/perfbench) and writes the tracked BENCH report. When a
+// baseline report is given, its metrics are embedded and the sweep
+// speedup computed, which is how BENCH_4.json documents the scheduler
+// overhaul's wall-clock win.
+func runPerfSuite(path, baselinePath string) error {
+	rep, err := perfbench.Collect()
+	if err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		base, err := perfbench.Load(baselinePath)
+		if err != nil {
+			return err
+		}
+		rep.AttachBaseline(base)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.Write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptmbench: perf suite -> %s", path)
+	if rep.SweepSpeedup > 0 {
+		fmt.Fprintf(os.Stderr, " (sweep speedup %.2fx)", rep.SweepSpeedup)
+	}
+	fmt.Fprintln(os.Stderr)
+	return f.Close()
 }
 
 // runTraced measures one small representative point of figure n with

@@ -38,6 +38,11 @@ type Config struct {
 	L2Ways  int
 	L3Lines int
 	L3Ways  int
+	// Lockstep promises external serialization (the lockstep engine's
+	// floor: one simulated thread executes at any instant), so the L3
+	// shard locks and the stats lock are elided. Leave false for
+	// concurrent-mode engines.
+	Lockstep bool
 }
 
 // DefaultConfig returns a hierarchy scaled to the simulated machine:
@@ -63,6 +68,7 @@ type entry struct {
 type bank struct {
 	sets  int
 	ways  int
+	mask  uint64  // sets-1 when sets is a power of two, else 0
 	ents  []entry // sets*ways
 	clock uint64
 }
@@ -71,13 +77,26 @@ func newBank(lines, ways int) *bank {
 	if lines <= 0 || ways <= 0 || lines%ways != 0 {
 		panic(fmt.Sprintf("cachesim: invalid bank geometry lines=%d ways=%d", lines, ways))
 	}
-	return &bank{sets: lines / ways, ways: ways, ents: make([]entry, lines)}
+	b := &bank{sets: lines / ways, ways: ways, ents: make([]entry, lines)}
+	if b.sets&(b.sets-1) == 0 {
+		// Every default geometry has power-of-two sets; masking there
+		// keeps a 64-bit divide out of the per-access path.
+		b.mask = uint64(b.sets - 1)
+	}
+	return b
+}
+
+// set maps a tag to its set index.
+func (b *bank) set(tag uint64) int {
+	if b.mask != 0 {
+		return int(tag & b.mask)
+	}
+	return int(tag % uint64(b.sets))
 }
 
 // lookup probes for tag; on hit it refreshes LRU and returns the slot.
 func (b *bank) lookup(tag uint64) (int, bool) {
-	set := int(tag % uint64(b.sets))
-	base := set * b.ways
+	base := b.set(tag) * b.ways
 	for i := base; i < base+b.ways; i++ {
 		if b.ents[i].valid && b.ents[i].tag == tag {
 			b.clock++
@@ -91,8 +110,7 @@ func (b *bank) lookup(tag uint64) (int, bool) {
 // insert fills tag, evicting the LRU way. It returns the victim entry
 // if a valid line was displaced.
 func (b *bank) insert(tag uint64) (victim entry, evicted bool) {
-	set := int(tag % uint64(b.sets))
-	base := set * b.ways
+	base := b.set(tag) * b.ways
 	slot := base
 	for i := base; i < base+b.ways; i++ {
 		if !b.ents[i].valid {
@@ -117,12 +135,15 @@ type Result struct {
 }
 
 // Hierarchy is the full cache simulator. Access is safe for concurrent
-// use provided each tid is driven by a single goroutine.
+// use provided each tid is driven by a single goroutine; a hierarchy
+// built with Config.Lockstep relies on the lockstep floor instead of
+// its own locks.
 type Hierarchy struct {
-	cfg Config
-	l1  []*bank // per thread
-	l2  []*bank // per thread
-	l3  [shards]struct {
+	cfg    Config
+	serial bool
+	l1     []*bank // per thread
+	l2     []*bank // per thread
+	l3     [shards]struct {
 		mu sync.Mutex
 		b  *bank
 	}
@@ -136,7 +157,7 @@ func New(cfg Config) *Hierarchy {
 	if cfg.Threads <= 0 {
 		panic("cachesim: need at least one thread")
 	}
-	h := &Hierarchy{cfg: cfg}
+	h := &Hierarchy{cfg: cfg, serial: cfg.Lockstep}
 	h.l1 = make([]*bank, cfg.Threads)
 	h.l2 = make([]*bank, cfg.Threads)
 	for i := 0; i < cfg.Threads; i++ {
@@ -182,9 +203,13 @@ func (h *Hierarchy) Access(tid int, line uint64, write bool) Result {
 		// writeback; dirtiness is tracked at L3 only (see package doc).
 		h.dirtyL3(line)
 	}
-	h.statMu.Lock()
-	h.hits[res.Level]++
-	h.statMu.Unlock()
+	if h.serial {
+		h.hits[res.Level]++
+	} else {
+		h.statMu.Lock()
+		h.hits[res.Level]++
+		h.statMu.Unlock()
+	}
 	return res
 }
 
@@ -196,8 +221,10 @@ func hitIn(b *bank, line uint64) bool {
 // accessL3 probes the shared L3, filling on miss.
 func (h *Hierarchy) accessL3(line uint64, write bool) Result {
 	s := &h.l3[h.shard(line)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !h.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if i, ok := s.b.lookup(line); ok {
 		if write {
 			s.b.ents[i].dirty = true
@@ -222,7 +249,10 @@ func (h *Hierarchy) accessL3(line uint64, write bool) Result {
 // dirty, modeling the writeback path.
 func (h *Hierarchy) dirtyL3(line uint64) {
 	s := &h.l3[h.shard(line)]
-	s.mu.Lock()
+	if !h.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if i, ok := s.b.lookup(line); ok {
 		s.b.ents[i].dirty = true
 	} else {
@@ -231,7 +261,6 @@ func (h *Hierarchy) dirtyL3(line uint64) {
 			s.b.ents[i].dirty = true
 		}
 	}
-	s.mu.Unlock()
 }
 
 // Clean clears the dirty bit of line in L3, modeling a clwb (which
@@ -239,8 +268,10 @@ func (h *Hierarchy) dirtyL3(line uint64) {
 // the line was present and dirty.
 func (h *Hierarchy) Clean(line uint64) bool {
 	s := &h.l3[h.shard(line)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !h.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if i, ok := s.b.lookup(line); ok && s.b.ents[i].dirty {
 		s.b.ents[i].dirty = false
 		return true
@@ -254,13 +285,17 @@ func (h *Hierarchy) DirtyLineCount() int {
 	n := 0
 	for i := range h.l3 {
 		s := &h.l3[i]
-		s.mu.Lock()
+		if !h.serial {
+			s.mu.Lock()
+		}
 		for _, e := range s.b.ents {
 			if e.valid && e.dirty {
 				n++
 			}
 		}
-		s.mu.Unlock()
+		if !h.serial {
+			s.mu.Unlock()
+		}
 	}
 	return n
 }
@@ -277,16 +312,20 @@ func (h *Hierarchy) Lines() int {
 
 // HitCounts returns cumulative access counts by level (index 1..4).
 func (h *Hierarchy) HitCounts() [5]int64 {
-	h.statMu.Lock()
-	defer h.statMu.Unlock()
+	if !h.serial {
+		h.statMu.Lock()
+		defer h.statMu.Unlock()
+	}
 	return h.hits
 }
 
 // HitRate reports the fraction of accesses served by some cache level
 // (i.e. not by memory); 0 before any access.
 func (h *Hierarchy) HitRate() float64 {
-	h.statMu.Lock()
-	defer h.statMu.Unlock()
+	if !h.serial {
+		h.statMu.Lock()
+		defer h.statMu.Unlock()
+	}
 	var total int64
 	for _, c := range h.hits {
 		total += c

@@ -83,7 +83,7 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 		}
 		th.ctx.MetaOp()
 		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(cur)})
-		th.lockVer[idx] = versionOf(cur)
+		th.lockVer.put(uint64(idx), versionOf(cur))
 	}
 
 	i := len(th.undo)

@@ -48,7 +48,7 @@ type htmCapacity struct{}
 // no timestamp extension — hardware transactions abort on conflict.
 func (tx *Tx) loadHTM(a memdev.Addr) uint64 {
 	th := tx.th
-	if i, ok := th.wpos[a]; ok {
+	if i, ok := th.wpos.get(uint64(a)); ok {
 		return th.wlog[i].val
 	}
 	t := th.tm.orecs
@@ -70,7 +70,7 @@ func (tx *Tx) loadHTM(a memdev.Addr) uint64 {
 // state; nothing persistent is written until commit.
 func (tx *Tx) storeHTM(a memdev.Addr, v uint64) {
 	th := tx.th
-	if i, ok := th.wpos[a]; ok {
+	if i, ok := th.wpos.get(uint64(a)); ok {
 		th.wlog[i].val = v
 		return
 	}
@@ -79,7 +79,7 @@ func (tx *Tx) storeHTM(a memdev.Addr, v uint64) {
 		panic(htmCapacity{})
 	}
 	th.wlog = append(th.wlog, redoEntry{addr: a, val: v})
-	th.wpos[a] = i
+	th.wpos.put(uint64(a), uint64(i))
 	th.ctx.Compute(2) // the store itself retires into the L1
 }
 
@@ -93,13 +93,11 @@ func (th *Thread) commitHTM(tx *Tx) {
 	}
 	t := th.tm.orecs
 	validateStart := th.ctx.Now()
-	seen := make(map[int]bool, len(th.wlog))
 	for _, e := range th.wlog {
 		idx := t.Index(e.addr)
-		if seen[idx] {
+		if _, locked := th.lockVer.get(uint64(idx)); locked {
 			continue
 		}
-		seen[idx] = true
 		v := t.Load(idx)
 		if lockedWord(v) || versionOf(v) > tx.rv {
 			th.abortCommit(AbortLockConflict)
@@ -108,7 +106,7 @@ func (th *Thread) commitHTM(tx *Tx) {
 			th.abortCommit(AbortLockConflict)
 		}
 		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(v)})
-		th.lockVer[idx] = versionOf(v)
+		th.lockVer.put(uint64(idx), versionOf(v))
 	}
 	if !th.validateReadSet() {
 		th.abortCommit(AbortValidation)

@@ -34,7 +34,8 @@ func (tx *Tx) loadLazy(a memdev.Addr) uint64 {
 	// Read-after-write: probe the log index. Under the split-log
 	// tuning this is a DRAM-resident hash probe; the NoSplitLog
 	// ablation charges a load from the persistent log area instead.
-	if i, ok := th.wpos[a]; ok {
+	if v, ok := th.wpos.get(uint64(a)); ok {
+		i := int(v)
 		if th.tm.cfg.NoSplitLog {
 			return th.ctx.Load(th.entryAddr(i) + 1)
 		}
@@ -76,7 +77,8 @@ func (tx *Tx) loadLazy(a memdev.Addr) uint64 {
 func (tx *Tx) storeLazy(a memdev.Addr, v uint64) {
 	th := tx.th
 	th.ctx.MetaOp() // index probe
-	if i, ok := th.wpos[a]; ok {
+	if pos, ok := th.wpos.get(uint64(a)); ok {
+		i := int(pos)
 		th.wlog[i].val = v
 		// Overwrite the persistent value word in place; if its line
 		// was already flushed, make the durable copy current again
@@ -96,7 +98,7 @@ func (tx *Tx) storeLazy(a memdev.Addr, v uint64) {
 		panic(ErrLogOverflow{Entries: i + 1})
 	}
 	th.wlog = append(th.wlog, redoEntry{addr: a, val: v})
-	th.wpos[a] = i
+	th.wpos.put(uint64(a), uint64(i))
 	ea := th.entryAddr(i)
 	drainStart := th.ctx.Now()
 	if th.tm.cfg.NTStoreLog && th.tm.cfg.Domain.RequiresFlush() {
@@ -140,15 +142,14 @@ func (th *Thread) commitLazy(tx *Tx) {
 	t := th.tm.orecs
 
 	// 1. Acquire write-set orecs. Distinct addresses can share an
-	// orec; seen dedups so a transaction never self-conflicts.
+	// orec; the lockVer probe (empty at commit entry, populated as
+	// locks are taken) dedups so a transaction never self-conflicts.
 	validateStart := th.ctx.Now()
-	seen := make(map[int]bool, len(th.wlog))
 	for _, e := range th.wlog {
 		idx := t.Index(e.addr)
-		if seen[idx] {
+		if _, locked := th.lockVer.get(uint64(idx)); locked {
 			continue
 		}
-		seen[idx] = true
 		v := t.Load(idx)
 		th.ctx.MetaOp()
 		if lockedWord(v) || versionOf(v) > tx.rv {
@@ -158,7 +159,7 @@ func (th *Thread) commitLazy(tx *Tx) {
 			th.abortCommit(AbortLockConflict)
 		}
 		th.locks = append(th.locks, lockRec{idx: idx, oldVer: versionOf(v)})
-		th.lockVer[idx] = versionOf(v)
+		th.lockVer.put(uint64(idx), versionOf(v))
 	}
 
 	// Validate the read set now that the write set is locked.
@@ -209,11 +210,18 @@ func (th *Thread) commitLazy(tx *Tx) {
 			th.tm.hook("lazy:mid-writeback", th)
 		}
 	}
-	flushed := make(map[uint64]bool, len(th.wlog))
+	th.wbLines = th.wbLines[:0]
 	for _, e := range th.wlog {
 		line := uint64(e.addr) >> memdev.LineShift
-		if !flushed[line] {
-			flushed[line] = true
+		dup := false
+		for _, l := range th.wbLines {
+			if l == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			th.wbLines = append(th.wbLines, line)
 			th.ctx.CLWB(e.addr)
 		}
 	}

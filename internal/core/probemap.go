@@ -1,0 +1,103 @@
+package core
+
+// probeMap is a small open-addressed hash table with epoch-based O(1)
+// clearing, used for the per-attempt write-set index (wpos) and the
+// locked-orec versions (lockVer). Both tables are probed on every
+// transactional Load/Store and cleared on every attempt; the built-in
+// map paid a hash-map allocation or a bucket walk (clear) per attempt
+// plus heavier per-probe dispatch, which profiling showed near the top
+// of the sweep hot path. A slot is live only when its epoch matches the
+// table's current epoch, so reset is one increment.
+type probeMap struct {
+	keys  []uint64
+	vals  []uint64
+	epoch []uint32
+	cur   uint32
+	mask  uint64
+	shift uint
+	n     int
+}
+
+// newProbeMap returns a table with capacity for at least hint entries
+// before growing. Capacity is a power of two kept at most half full.
+func newProbeMap(hint int) *probeMap {
+	size := 16
+	for size < 4*hint {
+		size *= 2
+	}
+	m := &probeMap{cur: 1}
+	m.alloc(size)
+	return m
+}
+
+func (m *probeMap) alloc(size int) {
+	m.keys = make([]uint64, size)
+	m.vals = make([]uint64, size)
+	m.epoch = make([]uint32, size)
+	m.mask = uint64(size - 1)
+	shift := uint(64)
+	for s := size; s > 1; s >>= 1 {
+		shift--
+	}
+	m.shift = shift
+}
+
+// reset empties the table in O(1) by advancing the epoch.
+func (m *probeMap) reset() {
+	m.n = 0
+	m.cur++
+	if m.cur == 0 { // epoch wrapped: stale slots would look live again
+		for i := range m.epoch {
+			m.epoch[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+// slot is the fibonacci-hash home slot for k.
+func (m *probeMap) slot(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> m.shift
+}
+
+// get returns the value stored for k, or 0, false.
+func (m *probeMap) get(k uint64) (uint64, bool) {
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		if m.epoch[i] != m.cur {
+			return 0, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+// put inserts or overwrites k -> v.
+func (m *probeMap) put(k, v uint64) {
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		if m.epoch[i] != m.cur {
+			m.keys[i], m.vals[i], m.epoch[i] = k, v, m.cur
+			m.n++
+			if uint64(m.n)*2 > m.mask {
+				m.grow()
+			}
+			return
+		}
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+	}
+}
+
+// grow doubles capacity, rehashing the live entries.
+func (m *probeMap) grow() {
+	keys, vals, epoch, cur := m.keys, m.vals, m.epoch, m.cur
+	m.alloc(2 * len(keys))
+	m.n = 0
+	m.cur = 1
+	for i := range keys {
+		if epoch[i] == cur {
+			m.put(keys[i], vals[i])
+		}
+	}
+}

@@ -109,7 +109,7 @@ func New(cfg Config) (*TM, error) {
 	tm := &TM{
 		cfg:    cfg,
 		bus:    bus,
-		orecs:  orec.New(cfg.OrecSize),
+		orecs:  newOrecs(cfg),
 		base:   mediumBase(cfg.Medium),
 		stride: descStride(cfg.MaxLogEntries),
 		rec:    cfg.Recorder,
@@ -152,6 +152,16 @@ func MustNew(cfg Config) *TM {
 		panic(err)
 	}
 	return tm
+}
+
+// newOrecs builds the orec table for cfg: lockstep configurations get
+// the serial (atomic-free) table, relying on the floor handoff for
+// ordering.
+func newOrecs(cfg Config) *orec.Table {
+	if cfg.Lockstep {
+		return orec.NewSerial(cfg.OrecSize)
+	}
+	return orec.New(cfg.OrecSize)
 }
 
 func alignLine(w uint64) uint64 {
@@ -238,7 +248,7 @@ func Attach(bus *membus.Bus, cfg Config) (*TM, error) {
 	tm := &TM{
 		cfg:    cfg,
 		bus:    bus,
-		orecs:  orec.New(cfg.OrecSize),
+		orecs:  newOrecs(cfg),
 		base:   mediumBase(cfg.Medium),
 		stride: descStride(cfg.MaxLogEntries),
 		rec:    cfg.Recorder,

@@ -122,14 +122,15 @@ type Thread struct {
 
 	// Per-attempt state, reused across attempts to avoid allocation.
 	rset    []readRec
-	lockVer map[int]uint64 // orec idx -> pre-lock version, for validation
-	wpos    map[memdev.Addr]int
+	lockVer *probeMap // orec idx -> pre-lock version, for validation
+	wpos    *probeMap // addr -> redo-log entry index
 	wlog    []redoEntry
 	flushed int // redo-log entries already flushed (incremental mode)
 	locks   []lockRec
 	undo    []undoRec
 	allocs  []memdev.Addr
 	frees   []memdev.Addr
+	wbLines []uint64 // writeback line-dedup scratch (commitLazy)
 
 	logHash     uint32 // running marker checksum over the undo log
 	mode        Algo   // algorithm of the current attempt (HTM may fall back)
@@ -152,8 +153,8 @@ func (tm *TM) Thread(tid int) *Thread {
 		owner:   uint64(tid) + 1,
 		desc:    tm.descBase(tid),
 		rng:     simtime.NewRand(uint64(tid)*0x9E3779B9 + 1),
-		wpos:    make(map[memdev.Addr]int, 64),
-		lockVer: make(map[int]uint64, 16),
+		wpos:    newProbeMap(64),
+		lockVer: newProbeMap(16),
 		rec:     tm.rec.Thread(tid),
 	}
 }
@@ -338,12 +339,12 @@ func (th *Thread) beginAttempt() {
 	th.wlog = th.wlog[:0]
 	th.flushed = 0
 	th.logHash = logHashSeed
-	clear(th.lockVer)
+	th.lockVer.reset()
 	th.locks = th.locks[:0]
 	th.undo = th.undo[:0]
 	th.allocs = th.allocs[:0]
 	th.frees = th.frees[:0]
-	clear(th.wpos)
+	th.wpos.reset()
 }
 
 // onAbort rolls back whatever the attempt changed.
@@ -483,7 +484,7 @@ func (th *Thread) validateReadSet() bool {
 			if versionOf(cur) != th.owner {
 				return false
 			}
-			if th.lockVer[rr.idx] != rr.ver {
+			if lv, _ := th.lockVer.get(uint64(rr.idx)); lv != rr.ver {
 				return false
 			}
 		} else if versionOf(cur) != rr.ver {

@@ -1,0 +1,50 @@
+package membus
+
+import (
+	"testing"
+
+	"goptm/internal/durability"
+	"goptm/internal/memdev"
+)
+
+// TestHotPathZeroAlloc pins the recorder-disabled load/store/clwb path
+// at zero heap allocations per operation. Every transactional read,
+// write, and persist in a sweep bottoms out here, so a single stray
+// allocation (a closure, an interface conversion, a map insert)
+// multiplies into gigabytes of garbage across a figure run. A warmup
+// pass brings all amortized state — cache entries, WPQ ring, pending
+// slots, the unfenced-line scratch — to steady-state capacity first,
+// so the measurement sees only the per-op cost.
+func TestHotPathZeroAlloc(t *testing.T) {
+	bus := MustNew(Config{
+		Threads:  1,
+		Domain:   durability.ADR,
+		Dev:      memdev.Config{NVMWords: 1 << 16, DRAMWords: 1 << 14},
+		Lockstep: true,
+	})
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+
+	const span = 1 << 12 // words
+	for i := uint64(0); i < span; i++ {
+		a := memdev.Addr(i)
+		ctx.Store(a, i)
+		ctx.CLWB(a)
+		if i%64 == 0 {
+			ctx.SFence()
+		}
+	}
+	ctx.SFence()
+
+	var i uint64
+	if n := testing.AllocsPerRun(2000, func() {
+		a := memdev.Addr(i * 9 % span)
+		ctx.Store(a, i)
+		ctx.CLWB(a)
+		ctx.SFence()
+		ctx.Load(a)
+		i++
+	}); n != 0 {
+		t.Errorf("store/clwb/sfence/load allocated %.2f allocs per run; the recorder-disabled hot path must stay allocation-free", n)
+	}
+}

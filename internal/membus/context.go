@@ -113,7 +113,9 @@ func (c *Context) access(a memdev.Addr, write bool) {
 
 	// Keep the page-cache dirty set conservative: any store to a
 	// routed page marks it dirty even if it hit in a private level.
-	if write && b.pcache != nil && b.dev.IsNVM(a) && b.routedNVM(a) {
+	// routeMode short-circuits the whole check for the domains with no
+	// page cache on the NVM path.
+	if write && b.routeMode != routeNone && b.dev.IsNVM(a) && b.routedNVM(a) {
 		b.pcache.MarkDirty(pagecache.PageOf(uint64(a)))
 	}
 }
@@ -159,7 +161,7 @@ func (c *Context) writeback(line uint64) {
 		return
 	}
 	b.ctl.WriteDRAM(c.th.Now())
-	if b.pcache != nil && b.dev.IsNVM(a) && b.routedNVM(a) {
+	if b.routeMode != routeNone && b.dev.IsNVM(a) && b.routedNVM(a) {
 		b.pcache.MarkDirty(pagecache.PageOf(uint64(a)))
 	}
 }
@@ -232,7 +234,7 @@ func (c *Context) flushWC() {
 // DRAM channel instead.
 func (c *Context) CLWB(a memdev.Addr) {
 	b := c.bus
-	if !b.domain.RequiresFlush() {
+	if b.flushElided {
 		return
 	}
 	c.stats.Flushes++
@@ -268,7 +270,7 @@ func (c *Context) CLWB(a memdev.Addr) {
 // when the domain does not require fences.
 func (c *Context) SFence() {
 	b := c.bus
-	if !b.domain.RequiresFence() {
+	if b.fenceElided {
 		return
 	}
 	c.flushWC()

@@ -111,13 +111,32 @@ type Bus struct {
 	domain durability.Domain
 	rec    *obs.Recorder
 
-	routeMu sync.RWMutex
-	routed  []pageRange // sorted, disjoint; used by PDRAM-Lite
+	// Domain-dependent dispatch, resolved once at construction so the
+	// per-operation path branches on flags instead of re-deriving
+	// domain policy (clwb/sfence elision, page-cache routing) on every
+	// load, store, and flush.
+	lockstep    bool
+	flushElided bool      // domain needs no clwb (eADR, PDRAM, PDRAM-Lite)
+	fenceElided bool      // domain needs no sfence
+	routeMode   routeKind // how NVM addresses route through the page cache
+
+	routeMu sync.RWMutex // guards routed in concurrent mode
+	routed  []pageRange  // sorted, disjoint; used by PDRAM-Lite
 
 	// tap observes persist-relevant events (SetPersistTap); nil when
 	// disabled, which is the measurement configuration.
 	tap func(PersistEvent)
 }
+
+// routeKind is the construction-time resolution of routedNVM's
+// domain-dependent branch.
+type routeKind uint8
+
+const (
+	routeNone  routeKind = iota // no page cache on the NVM path
+	routeAll                    // PDRAM: every NVM page routes
+	routeTable                  // PDRAM-Lite: consult the registered ranges
+)
 
 type pageRange struct{ lo, hi uint64 } // [lo, hi) page numbers
 
@@ -182,6 +201,10 @@ func New(cfg Config) (*Bus, error) {
 	if !cfg.Domain.Valid() {
 		return nil, fmt.Errorf("membus: invalid durability domain %d", int(cfg.Domain))
 	}
+	// Lockstep serializes every simulated thread, so the whole memory
+	// stack can elide its internal synchronization (see the package
+	// docs of memdev, wpq, cachesim, and pagecache).
+	cfg.Dev.Lockstep = cfg.Lockstep
 	dev, err := memdev.New(cfg.Dev)
 	if err != nil {
 		return nil, err
@@ -190,6 +213,7 @@ func New(cfg Config) (*Bus, error) {
 		cfg.Ctl = wpq.DefaultConfig(cfg.Threads)
 	}
 	cfg.Ctl.Threads = cfg.Threads
+	cfg.Ctl.Lockstep = cfg.Lockstep
 	if cfg.L3Lines == 0 {
 		cfg.L3Lines = 16 * 1024
 	}
@@ -199,15 +223,26 @@ func New(cfg Config) (*Bus, error) {
 	if (cfg.Lat == Latency{}) {
 		cfg.Lat = DefaultLatency()
 	}
+	ccfg := cachesim.DefaultConfig(cfg.Threads, cfg.L3Lines)
+	ccfg.Lockstep = cfg.Lockstep
 	b := &Bus{
-		cfg:    cfg,
-		lat:    cfg.Lat,
-		dev:    dev,
-		cache:  cachesim.New(cachesim.DefaultConfig(cfg.Threads, cfg.L3Lines)),
-		ctl:    wpq.New(cfg.Ctl),
-		engine: newEngine(cfg),
-		domain: cfg.Domain,
-		rec:    cfg.Recorder,
+		cfg:         cfg,
+		lat:         cfg.Lat,
+		dev:         dev,
+		cache:       cachesim.New(ccfg),
+		ctl:         wpq.New(cfg.Ctl),
+		engine:      newEngine(cfg),
+		domain:      cfg.Domain,
+		rec:         cfg.Recorder,
+		lockstep:    cfg.Lockstep,
+		flushElided: !cfg.Domain.RequiresFlush(),
+		fenceElided: !cfg.Domain.RequiresFence(),
+	}
+	switch {
+	case cfg.Domain == durability.PDRAM:
+		b.routeMode = routeAll
+	case cfg.Domain == durability.PDRAMLite:
+		b.routeMode = routeTable
 	}
 	if cfg.Recorder.Tracing() {
 		// WPQ occupancy is a machine-level quantity: feed every accept
@@ -223,6 +258,7 @@ func New(cfg Config) (*Bus, error) {
 			Frames:           cfg.PageFrames,
 			NoPrefetch:       cfg.NoPrefetch,
 			NoAsyncWriteback: cfg.NoAsyncWriteback,
+			Lockstep:         cfg.Lockstep,
 		}, b.ctl)
 	}
 	return b, nil
@@ -268,24 +304,55 @@ func (b *Bus) Engine() *simtime.Engine { return b.engine }
 // [addr, addr+words) routes through the DRAM page cache. Used under
 // PDRAM-Lite to place transaction logs in persistent DRAM. No-op for
 // other domains (PDRAM routes every NVM page implicitly).
+//
+// The registered set is kept sorted and disjoint: a new range is
+// spliced in at its binary-search position and merged with any
+// overlapping or adjacent neighbours, so RoutedPageCount never double
+// counts and routedNVM's binary search stays sound no matter how
+// callers overlap their registrations.
 func (b *Bus) RoutePages(addr memdev.Addr, words uint64) {
-	if b.domain != durability.PDRAMLite {
+	if b.routeMode != routeTable || words == 0 {
 		return
 	}
 	lo := pagecache.PageOf(uint64(addr))
 	hi := pagecache.PageOf(uint64(addr)+words-1) + 1
-	b.routeMu.Lock()
-	b.routed = append(b.routed, pageRange{lo, hi})
-	sort.Slice(b.routed, func(i, j int) bool { return b.routed[i].lo < b.routed[j].lo })
-	b.routeMu.Unlock()
+	if !b.lockstep {
+		b.routeMu.Lock()
+		defer b.routeMu.Unlock()
+	}
+	// First range that could touch or follow [lo, hi): predecessor
+	// ranges with r.hi >= lo are mergeable (adjacency counts).
+	i := sort.Search(len(b.routed), func(i int) bool { return b.routed[i].hi >= lo })
+	// Swallow every range the new one overlaps or abuts.
+	j := i
+	for j < len(b.routed) && b.routed[j].lo <= hi {
+		if b.routed[j].lo < lo {
+			lo = b.routed[j].lo
+		}
+		if b.routed[j].hi > hi {
+			hi = b.routed[j].hi
+		}
+		j++
+	}
+	if i == j {
+		// Disjoint: splice in at the search position.
+		b.routed = append(b.routed, pageRange{})
+		copy(b.routed[i+1:], b.routed[i:])
+		b.routed[i] = pageRange{lo, hi}
+		return
+	}
+	b.routed[i] = pageRange{lo, hi}
+	b.routed = append(b.routed[:i+1], b.routed[j:]...)
 }
 
 // RoutedPageCount reports how many NVM pages are registered to route
 // through the page cache (PDRAM-Lite's bounded directory; 0 for other
 // domains, whose routing is implicit).
 func (b *Bus) RoutedPageCount() int {
-	b.routeMu.RLock()
-	defer b.routeMu.RUnlock()
+	if !b.lockstep {
+		b.routeMu.RLock()
+		defer b.routeMu.RUnlock()
+	}
 	n := uint64(0)
 	for _, r := range b.routed {
 		n += r.hi - r.lo
@@ -294,20 +361,24 @@ func (b *Bus) RoutedPageCount() int {
 }
 
 // routedNVM reports whether NVM word address a goes through the page
-// cache under the current domain.
+// cache under the current domain. The common domains (ADR, eADR,
+// NoReserve) resolve to a single flag comparison; only PDRAM-Lite
+// consults the registered ranges, and only concurrent-mode buses take
+// the read lock to do so.
 func (b *Bus) routedNVM(a memdev.Addr) bool {
-	switch {
-	case b.domain == durability.PDRAM:
+	switch b.routeMode {
+	case routeNone:
+		return false
+	case routeAll:
 		return true
-	case b.domain == durability.PDRAMLite:
-		p := pagecache.PageOf(uint64(a))
+	}
+	p := pagecache.PageOf(uint64(a))
+	if !b.lockstep {
 		b.routeMu.RLock()
 		defer b.routeMu.RUnlock()
-		i := sort.Search(len(b.routed), func(i int) bool { return b.routed[i].hi > p })
-		return i < len(b.routed) && b.routed[i].lo <= p
-	default:
-		return false
 	}
+	i := sort.Search(len(b.routed), func(i int) bool { return b.routed[i].hi > p })
+	return i < len(b.routed) && b.routed[i].lo <= p
 }
 
 // Crash simulates a power failure at the maximum virtual time observed

@@ -77,9 +77,13 @@ type PendingInfo struct {
 // is deterministic.
 func (d *Device) PendingSnapshot() []PendingInfo {
 	d.mu.Lock()
-	out := make([]PendingInfo, 0, len(d.pending))
-	for ln, p := range d.pending {
-		out = append(out, PendingInfo{Line: ln, DrainVT: p.drainVT, Ordered: p.ordered})
+	out := make([]PendingInfo, 0, d.pendingLive)
+	for i := range d.pendingEnt {
+		if !d.pendingLiveAt(i) {
+			continue
+		}
+		p := &d.pendingEnt[i]
+		out = append(out, PendingInfo{Line: p.line, DrainVT: p.drainVT, Ordered: p.ordered})
 	}
 	d.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
@@ -107,7 +111,7 @@ type Image struct {
 	nvmMedia  []uint64
 	dramVol   []uint64
 	lineState []uint32
-	pending   map[uint64]pendingWrite
+	pending   []pendingWrite // live entries only
 	stores    int64
 	flushes   int64
 }
@@ -122,12 +126,14 @@ func (d *Device) Snapshot() *Image {
 		nvmMedia:  append([]uint64(nil), d.nvmMedia...),
 		dramVol:   append([]uint64(nil), d.dramVol...),
 		lineState: append([]uint32(nil), d.lineState...),
-		pending:   make(map[uint64]pendingWrite, len(d.pending)),
-		stores:    d.stores.Load(),
-		flushes:   d.flushes.Load(),
+		pending:   make([]pendingWrite, 0, d.pendingLive),
+		stores:    d.stores,
+		flushes:   d.flushes,
 	}
-	for ln, p := range d.pending {
-		img.pending[ln] = p
+	for i := range d.pendingEnt {
+		if d.pendingLiveAt(i) {
+			img.pending = append(img.pending, d.pendingEnt[i])
+		}
 	}
 	return img
 }
@@ -141,12 +147,13 @@ func (d *Device) Restore(img *Image) {
 	copy(d.nvmMedia, img.nvmMedia)
 	copy(d.dramVol, img.dramVol)
 	copy(d.lineState, img.lineState)
-	d.pending = make(map[uint64]pendingWrite, len(img.pending))
-	for ln, p := range img.pending {
-		d.pending[ln] = p
+	d.pendingClear()
+	for i := range img.pending {
+		e, _ := d.pendingPut(img.pending[i].line)
+		*e = img.pending[i]
 	}
-	d.stores.Store(img.stores)
-	d.flushes.Store(img.flushes)
+	d.stores = img.stores
+	d.flushes = img.flushes
 }
 
 // CrashWith is Crash with an adversarial fault plan layered on top of
@@ -168,13 +175,18 @@ func (d *Device) CrashWith(vt int64, dom durability.Domain, faults []LineFault) 
 	// overlay from a later store) then falls back to the fenced image,
 	// never behind it.
 	if dom.WPQPersists() {
-		for ln, p := range d.pending {
-			if p.ordered {
-				d.writeMediaLocked(ln, p.payload)
+		for i := range d.pendingEnt {
+			if d.pendingLiveAt(i) && d.pendingEnt[i].ordered {
+				d.writeMediaLocked(d.pendingEnt[i].line, d.pendingEnt[i].payload)
 			}
 		}
 	}
-	for ln, p := range d.pending {
+	for i := range d.pendingEnt {
+		if !d.pendingLiveAt(i) {
+			continue
+		}
+		p := &d.pendingEnt[i]
+		ln := p.line
 		if f, ok := byLine[ln]; ok {
 			// A line that was stored to after its last flush resolves
 			// against the newer volatile image in the dirty pass below.
@@ -187,7 +199,7 @@ func (d *Device) CrashWith(vt int64, dom durability.Domain, faults []LineFault) 
 			d.writeMediaLocked(ln, p.payload)
 		}
 	}
-	d.pending = make(map[uint64]pendingWrite)
+	d.pendingClear()
 
 	for ln := range d.lineState {
 		if atomic.LoadUint32(&d.lineState[ln]) != LineDirtyCache {

@@ -54,13 +54,19 @@ const (
 type Config struct {
 	NVMWords  uint64 // words of NVM (Optane) memory
 	DRAMWords uint64 // words of DRAM
+	// Lockstep promises that the lockstep scheduler serializes every
+	// access (one simulated thread executes at any instant), so the
+	// per-word atomics and the pending-set mutex are elided on the
+	// load/store/flush path. Leave false for concurrent-mode engines.
+	Lockstep bool
 }
 
 // pendingWrite is a line snapshot accepted into the WPQ but possibly
 // not yet drained to media.
 type pendingWrite struct {
 	payload [WordsPerLine]uint64
-	drainVT int64 // virtual time at which the drain completes
+	drainVT int64  // virtual time at which the drain completes
+	line    uint64 // owning NVM line (for iteration over the dense set)
 	// ordered records that the issuing thread has executed an sfence
 	// after the flush was accepted: on real hardware only then is the
 	// line guaranteed to have left the core's store path and entered
@@ -76,18 +82,29 @@ type pendingWrite struct {
 type Device struct {
 	nvmWords  uint64
 	dramWords uint64
+	serial    bool // lockstep: callers are externally serialized
 
 	nvmVol   []uint64
 	nvmMedia []uint64
 	dramVol  []uint64
 
-	lineState []uint32 // per NVM line, accessed atomically
+	lineState []uint32 // per NVM line, accessed atomically (concurrent mode)
 
-	mu      sync.Mutex
-	pending map[uint64]pendingWrite // NVM line -> latest accepted flush
+	// The pending (WPQ) set is a flat per-line index into a dense
+	// entry slice rather than a map: WPQAccept runs once per clwb,
+	// putting map hashing at the top of sweep profiles. pendingIdx
+	// holds slot+1 (0 = no pending entry) so the zero value of a fresh
+	// device is already correct; freed slots are recycled through
+	// pendingFree, and an entry is live iff pendingIdx[entry.line]
+	// still points at it.
+	mu          sync.Mutex
+	pendingIdx  []int32        // per NVM line: slot+1 into pendingEnt, 0 = none
+	pendingEnt  []pendingWrite // dense entries, including recycled dead slots
+	pendingFree []int32        // dead slots available for reuse
+	pendingLive int            // live entry count
 
-	stores  atomic.Int64 // NVM store count, for stats
-	flushes atomic.Int64 // WPQ accepts, for stats
+	stores  int64 // NVM store count, for stats
+	flushes int64 // WPQ accepts, for stats
 }
 
 // New creates a device. Both regions must be non-empty and multiples
@@ -100,13 +117,14 @@ func New(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("memdev: DRAMWords %d must be a positive multiple of %d", cfg.DRAMWords, WordsPerLine)
 	}
 	return &Device{
-		nvmWords:  cfg.NVMWords,
-		dramWords: cfg.DRAMWords,
-		nvmVol:    make([]uint64, cfg.NVMWords),
-		nvmMedia:  make([]uint64, cfg.NVMWords),
-		dramVol:   make([]uint64, cfg.DRAMWords),
-		lineState: make([]uint32, cfg.NVMWords/WordsPerLine),
-		pending:   make(map[uint64]pendingWrite),
+		nvmWords:   cfg.NVMWords,
+		dramWords:  cfg.DRAMWords,
+		serial:     cfg.Lockstep,
+		nvmVol:     make([]uint64, cfg.NVMWords),
+		nvmMedia:   make([]uint64, cfg.NVMWords),
+		dramVol:    make([]uint64, cfg.DRAMWords),
+		lineState:  make([]uint32, cfg.NVMWords/WordsPerLine),
+		pendingIdx: make([]int32, cfg.NVMWords/WordsPerLine),
 	}, nil
 }
 
@@ -152,9 +170,73 @@ func (d *Device) index(a Addr) (arr []uint64, i uint64) {
 	}
 }
 
+// pendingGet returns the live pending entry for line ln, or nil.
+// Caller must hold d.mu in concurrent mode.
+func (d *Device) pendingGet(ln uint64) *pendingWrite {
+	if s := d.pendingIdx[ln]; s != 0 {
+		return &d.pendingEnt[s-1]
+	}
+	return nil
+}
+
+// pendingPut returns the pending entry for ln, creating one (from the
+// free list or by growing the dense slice) if none is live, and
+// reports whether the entry already existed. Caller must hold d.mu in
+// concurrent mode.
+func (d *Device) pendingPut(ln uint64) (e *pendingWrite, existed bool) {
+	if s := d.pendingIdx[ln]; s != 0 {
+		return &d.pendingEnt[s-1], true
+	}
+	var slot int32
+	if n := len(d.pendingFree); n > 0 {
+		slot = d.pendingFree[n-1]
+		d.pendingFree = d.pendingFree[:n-1]
+	} else {
+		d.pendingEnt = append(d.pendingEnt, pendingWrite{})
+		slot = int32(len(d.pendingEnt) - 1)
+	}
+	d.pendingIdx[ln] = slot + 1
+	d.pendingLive++
+	e = &d.pendingEnt[slot]
+	e.line = ln
+	return e, false
+}
+
+// pendingDelete removes the pending entry for ln, if any. Caller must
+// hold d.mu in concurrent mode.
+func (d *Device) pendingDelete(ln uint64) {
+	if s := d.pendingIdx[ln]; s != 0 {
+		d.pendingIdx[ln] = 0
+		d.pendingFree = append(d.pendingFree, s-1)
+		d.pendingLive--
+	}
+}
+
+// pendingLiveAt reports whether dense slot i holds a live entry (a
+// recycled slot's stale line no longer points back at it).
+func (d *Device) pendingLiveAt(i int) bool {
+	return d.pendingIdx[d.pendingEnt[i].line] == int32(i+1)
+}
+
+// pendingClear empties the whole pending set. Caller must hold d.mu in
+// concurrent mode.
+func (d *Device) pendingClear() {
+	for i := range d.pendingEnt {
+		if d.pendingLiveAt(i) {
+			d.pendingIdx[d.pendingEnt[i].line] = 0
+		}
+	}
+	d.pendingEnt = d.pendingEnt[:0]
+	d.pendingFree = d.pendingFree[:0]
+	d.pendingLive = 0
+}
+
 // Load returns the current (volatile) value of the word at a.
 func (d *Device) Load(a Addr) uint64 {
 	arr, i := d.index(a)
+	if d.serial {
+		return arr[i]
+	}
 	return atomic.LoadUint64(&arr[i])
 }
 
@@ -162,15 +244,26 @@ func (d *Device) Load(a Addr) uint64 {
 // addresses, marks the containing line dirty.
 func (d *Device) Store(a Addr, v uint64) {
 	arr, i := d.index(a)
+	if d.serial {
+		arr[i] = v
+		if a < Addr(d.nvmWords) {
+			d.lineState[LineOf(a)] = LineDirtyCache
+			d.stores++
+		}
+		return
+	}
 	atomic.StoreUint64(&arr[i], v)
 	if a < Addr(d.nvmWords) {
 		atomic.StoreUint32(&d.lineState[LineOf(a)], LineDirtyCache)
-		d.stores.Add(1)
+		atomic.AddInt64(&d.stores, 1)
 	}
 }
 
 // LineState reports the persistence state of NVM line ln.
 func (d *Device) LineState(ln uint64) uint32 {
+	if d.serial {
+		return d.lineState[ln]
+	}
 	return atomic.LoadUint32(&d.lineState[ln])
 }
 
@@ -184,26 +277,37 @@ func (d *Device) WPQAccept(ln uint64, drainVT int64) {
 	if base >= d.nvmWords {
 		panic(fmt.Sprintf("memdev: WPQAccept of line %d beyond NVM", ln))
 	}
-	var p pendingWrite
-	for w := uint64(0); w < WordsPerLine; w++ {
-		p.payload[w] = atomic.LoadUint64(&d.nvmVol[base+w])
+	if !d.serial {
+		d.mu.Lock()
 	}
-	p.drainVT = drainVT
-	d.mu.Lock()
-	if old, ok := d.pending[ln]; ok && old.ordered {
+	e, existed := d.pendingPut(ln)
+	if existed && e.ordered {
 		// The fence that ordered the old entry guaranteed its drain; a
 		// later flush of the same line cannot revoke that. Commit it to
 		// media now so adversarial outcomes for the superseding entry
 		// (drop, tear) resolve against the fenced image rather than
 		// resurrecting the pre-fence one.
 		for w := uint64(0); w < WordsPerLine; w++ {
-			d.nvmMedia[base+w] = old.payload[w]
+			d.nvmMedia[base+w] = e.payload[w]
 		}
 	}
-	d.pending[ln] = p
+	if d.serial {
+		copy(e.payload[:], d.nvmVol[base:base+WordsPerLine])
+	} else {
+		for w := uint64(0); w < WordsPerLine; w++ {
+			e.payload[w] = atomic.LoadUint64(&d.nvmVol[base+w])
+		}
+	}
+	e.drainVT = drainVT
+	e.ordered = false
+	if d.serial {
+		d.lineState[ln] = LineInWPQ
+		d.flushes++
+		return
+	}
 	d.mu.Unlock()
 	atomic.StoreUint32(&d.lineState[ln], LineInWPQ)
-	d.flushes.Add(1)
+	atomic.AddInt64(&d.flushes, 1)
 }
 
 // WPQMarkOrdered records that the issuing thread has fenced the given
@@ -211,27 +315,33 @@ func (d *Device) WPQAccept(ln uint64, drainVT int64) {
 // entered the durability domain. Lines with no pending entry (already
 // drained, or superseded) are skipped.
 func (d *Device) WPQMarkOrdered(lines []uint64) {
-	d.mu.Lock()
+	if !d.serial {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	for _, ln := range lines {
-		if p, ok := d.pending[ln]; ok {
+		if p := d.pendingGet(ln); p != nil {
 			p.ordered = true
-			d.pending[ln] = p
 		}
 	}
-	d.mu.Unlock()
 }
 
 // PendingLines reports how many line flushes are sitting in the
 // pending (WPQ) set.
 func (d *Device) PendingLines() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.pending)
+	if !d.serial {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
+	return d.pendingLive
 }
 
 // Stats reports cumulative NVM stores and WPQ accepts.
 func (d *Device) Stats() (stores, flushes int64) {
-	return d.stores.Load(), d.flushes.Load()
+	if d.serial {
+		return d.stores, d.flushes
+	}
+	return atomic.LoadInt64(&d.stores), atomic.LoadInt64(&d.flushes)
 }
 
 // Crash applies a power failure at virtual time vt under the given
@@ -262,7 +372,7 @@ func (d *Device) MediaWriteLine(ln uint64, payload [WordsPerLine]uint64) {
 		panic(fmt.Sprintf("memdev: MediaWriteLine of line %d beyond NVM", ln))
 	}
 	d.mu.Lock()
-	delete(d.pending, ln) // writeback supersedes any pending flush
+	d.pendingDelete(ln) // writeback supersedes any pending flush
 	for w := uint64(0); w < WordsPerLine; w++ {
 		d.nvmMedia[base+w] = payload[w]
 		atomic.StoreUint64(&d.nvmVol[base+w], payload[w])
@@ -286,12 +396,16 @@ func (d *Device) MediaLoad(a Addr) uint64 {
 // the machine were shut down cleanly. Used at the end of healthy runs.
 func (d *Device) Quiesce() {
 	d.mu.Lock()
-	for ln, p := range d.pending {
-		base := ln << LineShift
+	for i := range d.pendingEnt {
+		if !d.pendingLiveAt(i) {
+			continue
+		}
+		p := &d.pendingEnt[i]
+		base := p.line << LineShift
 		for w := uint64(0); w < WordsPerLine; w++ {
 			d.nvmMedia[base+w] = p.payload[w]
 		}
 	}
-	d.pending = make(map[uint64]pendingWrite)
+	d.pendingClear()
 	d.mu.Unlock()
 }

@@ -23,16 +23,21 @@ import (
 // runtime).
 const DefaultSize = 1 << 20
 
-// Table is the orec table plus the global version clock. Safe for
-// concurrent use.
+// Table is the orec table plus the global version clock. A table from
+// New is safe for concurrent use; a table from NewSerial relies on the
+// lockstep scheduler's floor (exactly one simulated thread executes at
+// any instant) and replaces every atomic with a plain memory op —
+// orec loads and the clock are touched on every transactional read,
+// so the LOCK-prefixed CAS and fenced loads are measurable there.
 type Table struct {
-	orecs []atomic.Uint64
-	mask  uint64
-	clock atomic.Uint64
+	orecs  []uint64
+	mask   uint64
+	serial bool
+	clock  uint64
 }
 
-// New creates a table with size orecs. size must be a power of two;
-// size <= 0 selects DefaultSize.
+// New creates a concurrency-safe table with size orecs. size must be a
+// power of two; size <= 0 selects DefaultSize.
 func New(size int) *Table {
 	if size <= 0 {
 		size = DefaultSize
@@ -40,7 +45,15 @@ func New(size int) *Table {
 	if size&(size-1) != 0 {
 		panic("orec: table size must be a power of two")
 	}
-	return &Table{orecs: make([]atomic.Uint64, size), mask: uint64(size - 1)}
+	return &Table{orecs: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// NewSerial creates a table whose callers promise external
+// serialization (the lockstep floor); all atomics are elided.
+func NewSerial(size int) *Table {
+	t := New(size)
+	t.serial = true
+	return t
 }
 
 // Index maps a word address to its orec slot.
@@ -50,7 +63,12 @@ func (t *Table) Index(a memdev.Addr) int {
 }
 
 // Load returns the current orec word for slot i.
-func (t *Table) Load(i int) uint64 { return t.orecs[i].Load() }
+func (t *Table) Load(i int) uint64 {
+	if t.serial {
+		return t.orecs[i]
+	}
+	return atomic.LoadUint64(&t.orecs[i])
+}
 
 // IsLocked reports whether orec word v is locked.
 func IsLocked(v uint64) bool { return v&1 == 1 }
@@ -70,30 +88,53 @@ func Versioned(version uint64) uint64 { return version << 1 }
 // TryLock atomically locks slot i for owner if its current value is
 // the unlocked word for expectVersion. It returns true on success.
 func (t *Table) TryLock(i int, owner, expectVersion uint64) bool {
-	return t.orecs[i].CompareAndSwap(Versioned(expectVersion), Locked(owner))
+	if t.serial {
+		if t.orecs[i] != Versioned(expectVersion) {
+			return false
+		}
+		t.orecs[i] = Locked(owner)
+		return true
+	}
+	return atomic.CompareAndSwapUint64(&t.orecs[i], Versioned(expectVersion), Locked(owner))
 }
 
 // Release unlocks slot i, publishing newVersion. The caller must hold
 // the lock.
 func (t *Table) Release(i int, newVersion uint64) {
-	t.orecs[i].Store(Versioned(newVersion))
+	if t.serial {
+		t.orecs[i] = Versioned(newVersion)
+		return
+	}
+	atomic.StoreUint64(&t.orecs[i], Versioned(newVersion))
 }
 
 // ReadClock returns the current global version clock.
-func (t *Table) ReadClock() uint64 { return t.clock.Load() }
+func (t *Table) ReadClock() uint64 {
+	if t.serial {
+		return t.clock
+	}
+	return atomic.LoadUint64(&t.clock)
+}
 
 // IncClock atomically advances the global clock and returns the new
 // value (the commit timestamp).
-func (t *Table) IncClock() uint64 { return t.clock.Add(1) }
+func (t *Table) IncClock() uint64 {
+	if t.serial {
+		t.clock++
+		return t.clock
+	}
+	return atomic.AddUint64(&t.clock, 1)
+}
 
 // Size reports the number of orecs.
 func (t *Table) Size() int { return len(t.orecs) }
 
 // Reset clears every orec and the clock. Only for recovery: after a
-// crash all volatile STM metadata is reconstructed empty.
+// crash all volatile STM metadata is reconstructed empty (the device
+// is quiescent there, so plain stores suffice in either mode).
 func (t *Table) Reset() {
 	for i := range t.orecs {
-		t.orecs[i].Store(0)
+		t.orecs[i] = 0
 	}
-	t.clock.Store(0)
+	t.clock = 0
 }

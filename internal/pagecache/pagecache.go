@@ -51,6 +51,9 @@ type Config struct {
 	NoPrefetch bool
 	// NoAsyncWriteback disables background cleaning of dirty frames.
 	NoAsyncWriteback bool
+	// Lockstep promises external serialization (the lockstep engine's
+	// floor), eliding the directory mutex on every access.
+	Lockstep bool
 }
 
 // Stats counts cache activity.
@@ -72,9 +75,11 @@ type frame struct {
 }
 
 // Cache is the directory-managed DRAM page cache. Safe for concurrent
-// use.
+// use unless built with Config.Lockstep, in which case the lockstep
+// floor provides the serialization the elided mutex would have.
 type Cache struct {
 	mu     sync.Mutex
+	serial bool
 	cfg    Config
 	frames int
 	dir    map[uint64]*frame
@@ -90,6 +95,7 @@ func New(cfg Config, ctl *wpq.Controller) *Cache {
 	}
 	return &Cache{
 		cfg:    cfg,
+		serial: cfg.Lockstep,
 		frames: cfg.Frames,
 		dir:    make(map[uint64]*frame, cfg.Frames),
 		lru:    list.New(),
@@ -106,8 +112,10 @@ func (c *Cache) Frames() int { return c.frames }
 // evicts the LRU frame (charging a page writeback if dirty), charges
 // the page fetch, and returns the fetch completion time and false.
 func (c *Cache) Access(now int64, tid int, page uint64, write bool) (done int64, hit bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	if f, ok := c.dir[page]; ok {
 		c.lru.MoveToFront(f.elem)
 		if write {
@@ -208,17 +216,21 @@ func (c *Cache) asyncCleanLocked(now int64) {
 // transfer time. Used for bookkeeping stores that hit in the CPU
 // caches above the directory.
 func (c *Cache) MarkDirty(page uint64) {
-	c.mu.Lock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	if f, ok := c.dir[page]; ok {
 		f.dirty = true
 	}
-	c.mu.Unlock()
 }
 
 // Contains reports whether page is resident (for tests and recovery).
 func (c *Cache) Contains(page uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	_, ok := c.dir[page]
 	return ok
 }
@@ -226,8 +238,10 @@ func (c *Cache) Contains(page uint64) bool {
 // DirtyPages returns the set of resident dirty pages; the crash path
 // uses it to account for the reserve power a flush would need.
 func (c *Cache) DirtyPages() []uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	var out []uint64
 	for p, f := range c.dir {
 		if f.dirty {
@@ -240,8 +254,10 @@ func (c *Cache) DirtyPages() []uint64 {
 // Resident reports the current frame occupancy: resident pages and,
 // of those, how many are dirty (observability counter tracks).
 func (c *Cache) Resident() (resident, dirty int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	resident = len(c.dir)
 	for _, f := range c.dir {
 		if f.dirty {
@@ -253,15 +269,19 @@ func (c *Cache) Resident() (resident, dirty int) {
 
 // Stats returns cumulative counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	return c.stats
 }
 
 // Drop empties the cache (after a crash: DRAM contents are gone).
 func (c *Cache) Drop() {
-	c.mu.Lock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	c.dir = make(map[uint64]*frame, c.frames)
 	c.lru.Init()
-	c.mu.Unlock()
 }

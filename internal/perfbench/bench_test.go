@@ -1,0 +1,88 @@
+package perfbench
+
+import (
+	"testing"
+
+	"goptm/internal/memdev"
+	"goptm/internal/simtime"
+)
+
+// BenchmarkOpPath measures the canonical persist sequence (store,
+// clwb, sfence, load) on an ADR lockstep bus — the simulator's
+// hottest path. Four simulated memory ops per iteration.
+func BenchmarkOpPath(b *testing.B) {
+	bus := opPathBus()
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+	const span = 1 << 14
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := memdev.Addr(uint64(i*9) % span)
+		ctx.Store(a, uint64(i))
+		ctx.CLWB(a)
+		ctx.SFence()
+		ctx.Load(a)
+	}
+}
+
+// BenchmarkLoadStore measures the recorder-disabled load/store pair
+// alone (no flush traffic), the path every transactional read and
+// write bottoms out in.
+func BenchmarkLoadStore(b *testing.B) {
+	bus := opPathBus()
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+	const span = 1 << 14
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := memdev.Addr(uint64(i*17) % span)
+		ctx.Store(a, uint64(i))
+		ctx.Load(a)
+	}
+}
+
+// BenchmarkLockstepHandoff measures the direct floor handoff: 32
+// threads each advancing exactly one window per turn, so every
+// iteration is 32 grants.
+func BenchmarkLockstepHandoff(b *testing.B) {
+	Handoff(32, b.N) // warm the path; the measured run below dominates
+}
+
+// BenchmarkLockstepHandoff2 measures the two-thread ping-pong, the
+// minimal handoff latency.
+func BenchmarkLockstepHandoff2(b *testing.B) {
+	e := simtime.NewLockstepEngine(1000)
+	a, c := e.NewThread(0), e.NewThread(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer c.Detach()
+		for c.Now() < int64(b.N+2)*1000 {
+			c.Advance(1000)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Advance(1000)
+	}
+	b.StopTimer()
+	a.Detach()
+	<-done
+}
+
+// BenchmarkSweepCell32 is the acceptance benchmark: one full lockstep
+// sweep cell (tpcc-hash, Optane ADR redo, 32 threads) at quick-params
+// scale. Run with -benchtime=1x; wall seconds are the metric the
+// BENCH_*.json artifact tracks.
+func BenchmarkSweepCell32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		secs, commits, err := SweepCell(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(secs, "wall-s/cell")
+		b.ReportMetric(float64(commits), "commits")
+	}
+}

@@ -1,0 +1,231 @@
+// Package perfbench measures the simulator's own speed: host
+// wall-clock cost per simulated operation, lockstep handoff rate, and
+// the wall time of a fixed sweep cell. These are *simulator* metrics
+// (how fast the reproduction runs), not paper metrics — the virtual
+// throughput numbers live in the harness.
+//
+// The same probes back three consumers: the Go benchmarks in
+// bench_test.go, the `ptmbench -perfjson` mode that emits the tracked
+// BENCH_<pr>.json artifact, and ad-hoc before/after comparisons during
+// performance work (docs/PERFORMANCE.md).
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/harness"
+	"goptm/internal/membus"
+	"goptm/internal/memdev"
+	"goptm/internal/simtime"
+	"goptm/internal/workload/tpcc"
+)
+
+// Schema identifies the BENCH_*.json layout.
+const Schema = 1
+
+// Metric is one measured quantity.
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Report is the tracked perf artifact (BENCH_<pr>.json). Metrics hold
+// the current build's numbers; Baseline, when present, holds the same
+// probes measured on the pre-overhaul scheduler of the same host, so
+// the speedup is an apples-to-apples wall-clock comparison.
+type Report struct {
+	Schema     int               `json:"schema"`
+	Suite      string            `json:"suite"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Metrics    map[string]Metric `json:"metrics"`
+	Baseline   map[string]Metric `json:"baseline,omitempty"`
+	// SweepSpeedup is sweep_cell_32 baseline seconds / current seconds
+	// (only when a baseline is attached) — the acceptance metric.
+	SweepSpeedup float64 `json:"sweep_speedup,omitempty"`
+}
+
+// opPathBus builds the standard op-path probe machine: one thread,
+// Optane ADR (the domain where clwb/sfence are real work), lockstep.
+func opPathBus() *membus.Bus {
+	return membus.MustNew(membus.Config{
+		Threads:  1,
+		Domain:   durability.ADR,
+		Dev:      memdev.Config{NVMWords: 1 << 20, DRAMWords: 1 << 14},
+		Lockstep: true,
+	})
+}
+
+// OpPath runs iters rounds of the canonical persist sequence — store,
+// clwb, sfence, load — against an ADR lockstep bus and reports the
+// host nanoseconds per simulated memory operation (4 ops per round).
+func OpPath(iters int) (nsPerOp float64) {
+	bus := opPathBus()
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+	const span = 1 << 14 // words; larger than L1+L2 so misses occur
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		a := memdev.Addr(uint64(i*9) % span)
+		ctx.Store(a, uint64(i))
+		ctx.CLWB(a)
+		ctx.SFence()
+		ctx.Load(a)
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(iters*4)
+}
+
+// OpPathAllocs reports heap allocations per simulated memory op on the
+// persist sequence, after a warmup pass that brings caches, WPQ ring,
+// and pending slots to steady-state capacity. The recorder-disabled
+// hot path is required to be allocation-free (see
+// membus.TestHotPathZeroAlloc), so the tracked value is expected to be
+// exactly 0.
+func OpPathAllocs(iters int) float64 {
+	bus := opPathBus()
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+	const span = 1 << 14
+	run := func(n int) {
+		for i := 0; i < n; i++ {
+			a := memdev.Addr(uint64(i*9) % span)
+			ctx.Store(a, uint64(i))
+			ctx.CLWB(a)
+			ctx.SFence()
+			ctx.Load(a)
+		}
+	}
+	run(span) // warmup: amortized capacity growth happens here
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run(iters)
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters*4)
+}
+
+// Handoff runs threads lockstep workers that each advance exactly one
+// window per turn for rounds windows, so every Advance is a floor
+// handoff, and reports handoffs per host second.
+func Handoff(threads, rounds int) (handoffsPerSec float64) {
+	e := simtime.NewLockstepEngine(1000)
+	ths := make([]*simtime.Thread, threads)
+	for i := range ths {
+		ths[i] = e.NewThread(i)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(th *simtime.Thread) {
+			defer wg.Done()
+			defer th.Detach()
+			for r := 0; r < rounds; r++ {
+				th.Advance(1000)
+			}
+		}(ths[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(threads*rounds) / elapsed.Seconds()
+}
+
+// SweepCell measures the wall-clock seconds of one lockstep sweep cell
+// at quick-params scale: tpcc-hash on Optane_ADR_R with the given
+// thread count. This is the unit of work the parallel sweep engine
+// schedules, so its wall time is what a full `ptmbench -all` run is
+// made of.
+func SweepCell(threads int) (wallSeconds float64, commits int64, err error) {
+	p := harness.QuickParams()
+	cell := harness.Cell{Medium: core.MediumNVM, Domain: durability.ADR, Algo: core.OrecLazy}
+	rc := harness.RunConfig{Threads: threads, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS, Lockstep: true}
+	start := time.Now()
+	res, err := harness.Run(cell, rc, tpcc.New(tpcc.Config{Kind: tpcc.HashIndex}))
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Seconds(), res.Commits, nil
+}
+
+// Fixed probe budgets: identical work before and after an optimization
+// so wall-clock numbers compare directly.
+const (
+	opPathIters    = 300_000
+	handoffThreads = 32
+	handoffRounds  = 6_000
+	sweepThreads   = 32
+)
+
+// Collect runs the full probe suite and assembles a Report (without a
+// baseline; attach one with AttachBaseline).
+func Collect() (Report, error) {
+	r := Report{
+		Schema:     Schema,
+		Suite:      "simulator-hot-path",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Metrics:    map[string]Metric{},
+	}
+	nsPerOp := OpPath(opPathIters)
+	r.Metrics["op_path_ns_per_op"] = Metric{Value: round2(nsPerOp), Unit: "host-ns/sim-op"}
+	r.Metrics["op_path_ops_per_sec"] = Metric{Value: round2(1e9 / nsPerOp), Unit: "sim-ops/s"}
+	r.Metrics["op_path_allocs_per_op"] = Metric{Value: round2(OpPathAllocs(opPathIters / 10)), Unit: "allocs/sim-op"}
+
+	hps := Handoff(handoffThreads, handoffRounds)
+	r.Metrics["lockstep_handoffs_per_sec_32t"] = Metric{Value: round2(hps), Unit: "handoffs/s"}
+
+	secs, commits, err := SweepCell(sweepThreads)
+	if err != nil {
+		return r, err
+	}
+	r.Metrics["sweep_cell_32t_wall"] = Metric{Value: round2(secs), Unit: "s"}
+	r.Metrics["sweep_cell_32t_commits"] = Metric{Value: float64(commits), Unit: "committed-txns"}
+	return r, nil
+}
+
+// AttachBaseline merges a pre-optimization report's metrics as the
+// baseline and computes the sweep speedup.
+func (r *Report) AttachBaseline(base Report) {
+	r.Baseline = base.Metrics
+	if b, ok := base.Metrics["sweep_cell_32t_wall"]; ok {
+		if cur, ok2 := r.Metrics["sweep_cell_32t_wall"]; ok2 && cur.Value > 0 {
+			r.SweepSpeedup = round2(b.Value / cur.Value)
+		}
+	}
+}
+
+// Write emits the report as indented JSON.
+func (r Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a report written by Write.
+func Load(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

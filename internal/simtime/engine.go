@@ -19,6 +19,7 @@ package simtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -46,15 +47,27 @@ const DefaultWindow = 1000
 // intra-cell host parallelism, which the experiment runner wins back
 // by running independent cells on different cores.
 //
+// The lockstep handoff is a direct grant: each Thread carries its own
+// one-slot grant channel, and the scheduler wakes exactly the chosen
+// successor (no broadcast, no spurious wakeups — the previous design
+// woke every parked goroutine per grant, O(threads) scheduler work per
+// thread per window). Parked threads whose clock is inside the current
+// window sit in a ready queue ordered by id; threads that have already
+// crossed the boundary wait in an unordered overflow set and are
+// promoted when the window advances. The grant order — lowest id among
+// parked threads inside the window, window advanced only when none
+// qualifies — is exactly the documented schedule, so archived lockstep
+// results stay bit-identical across the scheduler implementations.
+//
 // The zero value is not usable; call NewEngine or NewLockstepEngine.
 type Engine struct {
 	winSize int64
 	window  atomic.Int64 // current window end (exclusive)
 
 	mu      sync.Mutex
-	cond    *sync.Cond
-	active  int // attached, running threads
-	waiting int // threads blocked at the window boundary (concurrent mode)
+	cond    *sync.Cond // concurrent-mode barrier
+	active  int        // attached, running threads
+	waiting int        // threads blocked at the window boundary (concurrent mode)
 
 	// Lockstep-mode state: at most one thread (the "floor" holder)
 	// executes at any instant; the rest are parked. A thread is granted
@@ -63,7 +76,8 @@ type Engine struct {
 	// current window — cannot depend on goroutine start-up races.
 	lockstep bool
 	floor    *Thread
-	parked   []*Thread
+	ready    []*Thread // parked, clock inside window; sorted by descending id
+	future   []*Thread // parked, clock at/past the window end; unordered
 }
 
 // NewEngine returns a concurrent-mode engine whose barrier window is
@@ -104,17 +118,29 @@ func (e *Engine) WindowSize() int64 { return e.winSize }
 func (e *Engine) NewThread(id int) *Thread {
 	e.mu.Lock()
 	e.active++
-	start := e.window.Load() - e.winSize
+	w := e.window.Load()
+	start := w - e.winSize
 	if start < 0 {
 		start = 0
 	}
+	t := &Thread{engine: e, id: id, clock: start}
+	if e.lockstep {
+		// The first engine call parks and takes a turn; until then the
+		// thread holds no floor and must not fast-path past a boundary.
+		t.grant = make(chan struct{}, 1)
+	} else {
+		// Concurrent mode: the window only grows, so a cached end that
+		// lags the real one merely sends the thread down the slow path.
+		t.winEnd = w
+	}
 	e.mu.Unlock()
-	return &Thread{engine: e, id: id, clock: start}
+	return t
 }
 
 // waitUntil blocks the calling thread until the global window has
 // advanced past vt. It implements a generation-style barrier: the last
 // thread to arrive advances the window and wakes everyone.
+// Concurrent mode only.
 func (e *Engine) waitUntil(vt int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -134,7 +160,7 @@ func (e *Engine) waitUntil(vt int64) {
 }
 
 // advanceWindowLocked moves the window forward one step and releases
-// all waiters. Caller holds e.mu.
+// all waiters. Caller holds e.mu. Concurrent mode only.
 func (e *Engine) advanceWindowLocked() {
 	e.waiting = 0
 	e.window.Store(e.window.Load() + e.winSize)
@@ -152,18 +178,32 @@ func (e *Engine) detach(t *Thread) {
 		if e.floor == t {
 			e.floor = nil
 		} else {
-			for i, p := range e.parked {
-				if p == t {
-					e.parked = append(e.parked[:i], e.parked[i+1:]...)
-					break
-				}
-			}
+			// Defensive: the owning goroutine cannot be parked while it
+			// calls Detach, but tolerate it anyway.
+			e.removeParkedLocked(t)
 		}
 		e.scheduleLocked()
 	} else if e.active > 0 && e.waiting >= e.active {
 		e.advanceWindowLocked()
 	}
 	e.mu.Unlock()
+}
+
+// removeParkedLocked drops t from whichever parked set holds it.
+// Caller holds e.mu.
+func (e *Engine) removeParkedLocked(t *Thread) {
+	for i, th := range e.ready {
+		if th == t {
+			e.ready = append(e.ready[:i], e.ready[i+1:]...)
+			return
+		}
+	}
+	for i, th := range e.future {
+		if th == t {
+			e.future = append(e.future[:i], e.future[i+1:]...)
+			return
+		}
+	}
 }
 
 // park blocks t until the lockstep scheduler grants it the floor.
@@ -173,42 +213,67 @@ func (e *Engine) park(t *Thread) {
 	if e.floor == t {
 		e.floor = nil
 	}
-	e.parked = append(e.parked, t)
-	e.scheduleLocked()
-	for e.floor != t {
-		e.cond.Wait()
+	if t.clock < e.window.Load() {
+		e.pushReadyLocked(t)
+	} else {
+		e.future = append(e.future, t)
 	}
+	e.scheduleLocked()
 	e.mu.Unlock()
+	<-t.grant
 }
 
-// scheduleLocked grants the floor to the next runnable thread:
-// the lowest-id parked thread whose clock is inside the current
-// window, advancing the window when no parked thread qualifies.
-// Grants happen only when every attached thread is parked — a thread
-// that is attached but still running toward its first engine call
-// (or toward its park) pauses scheduling until it arrives, which
-// keeps the turn order independent of goroutine start-up timing.
+// pushReadyLocked inserts t into the ready queue, which is kept sorted
+// by descending id so that the next grant — the lowest id — pops off
+// the tail in O(1). Insertion position is found by binary search;
+// thread counts are small enough that the splice memmove is noise.
 // Caller holds e.mu.
+func (e *Engine) pushReadyLocked(t *Thread) {
+	i := sort.Search(len(e.ready), func(i int) bool { return e.ready[i].id < t.id })
+	e.ready = append(e.ready, nil)
+	copy(e.ready[i+1:], e.ready[i:])
+	e.ready[i] = t
+}
+
+// scheduleLocked grants the floor to the next runnable thread: the
+// lowest-id parked thread whose clock is inside the current window,
+// advancing the window (and promoting future arrivals) when no parked
+// thread qualifies. Grants happen only when every attached thread is
+// parked — a thread that is attached but still running toward its
+// first engine call (or toward its park) pauses scheduling until it
+// arrives, which keeps the turn order independent of goroutine
+// start-up timing. Exactly one goroutine is woken per grant. Caller
+// holds e.mu.
 func (e *Engine) scheduleLocked() {
-	if !e.lockstep || e.floor != nil || e.active == 0 || len(e.parked) < e.active {
+	if !e.lockstep || e.floor != nil || e.active == 0 || len(e.ready)+len(e.future) < e.active {
 		return
 	}
 	for {
-		w := e.window.Load()
-		best := -1
-		for i, th := range e.parked {
-			if th.clock < w && (best < 0 || th.id < e.parked[best].id) {
-				best = i
-			}
-		}
-		if best >= 0 {
-			t := e.parked[best]
-			e.parked = append(e.parked[:best], e.parked[best+1:]...)
+		if n := len(e.ready); n > 0 {
+			t := e.ready[n-1]
+			e.ready[n-1] = nil
+			e.ready = e.ready[:n-1]
 			e.floor = t
-			e.cond.Broadcast()
+			t.winEnd = e.window.Load()
+			t.grant <- struct{}{}
 			return
 		}
-		e.window.Store(w + e.winSize)
+		// Nobody inside the window: open the next one and promote the
+		// future threads it now covers.
+		w := e.window.Load() + e.winSize
+		e.window.Store(w)
+		kept := e.future[:0]
+		for _, th := range e.future {
+			if th.clock < w {
+				e.pushReadyLocked(th)
+			} else {
+				kept = append(kept, th)
+			}
+		}
+		for i := len(kept); i < len(e.future); i++ {
+			e.future[i] = nil
+		}
+		e.future = kept
 	}
 }
 
@@ -218,11 +283,20 @@ type Thread struct {
 	engine *Engine
 	id     int
 	clock  int64
+	// winEnd caches the end of the window the thread may run in without
+	// re-synchronizing: the clock may advance freely below it. In
+	// lockstep mode the scheduler stamps it at grant time; in concurrent
+	// mode it trails the shared window (which only grows), so a stale
+	// value is conservative.
+	winEnd int64
 	done   bool
 	// hasFloor tracks lockstep-mode floor ownership. It is read and
 	// written only by the owning goroutine (the engine's grant is
-	// observed through the park loop before the flag is set).
+	// observed through the grant channel before the flag is set).
 	hasFloor bool
+	// grant is the thread's private wakeup slot: the scheduler hands the
+	// floor over by sending one token. Lockstep mode only.
+	grant chan struct{}
 }
 
 // ID reports the thread's identifier as passed to NewThread.
@@ -267,14 +341,16 @@ func (t *Thread) AdvanceTo(vt int64) {
 		return
 	}
 	t.clock = vt
-	if vt >= t.engine.window.Load() {
-		if t.engine.lockstep {
-			t.hasFloor = false
-			t.engine.park(t)
-			t.hasFloor = true
-		} else {
-			t.engine.waitUntil(vt)
-		}
+	if vt < t.winEnd {
+		return
+	}
+	if t.engine.lockstep {
+		t.hasFloor = false
+		t.engine.park(t)
+		t.hasFloor = true
+	} else {
+		t.engine.waitUntil(vt)
+		t.winEnd = t.engine.window.Load()
 	}
 }
 

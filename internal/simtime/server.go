@@ -11,11 +11,18 @@ import (
 // time; if every port is busy the request queues behind the earliest-
 // free port, which is how bandwidth saturation appears as latency.
 //
-// Server is safe for concurrent use.
+// Server is safe for concurrent use. A server created with
+// NewSerialServer elides its internal locking: under the lockstep
+// scheduler exactly one simulated thread executes at any instant, so
+// the mutex would be pure overhead on the hottest path in the
+// simulator. The floor handoff provides the happens-before edges
+// between successive owners; callers must guarantee that external
+// serialization (the engine's floor invariant does).
 type Server struct {
-	mu    sync.Mutex
-	ports []int64 // next-free virtual time per port
-	busy  int64   // total busy nanoseconds, for utilization stats
+	mu     sync.Mutex
+	serial bool    // external serialization promised; skip the mutex
+	ports  []int64 // next-free virtual time per port
+	busy   int64   // total busy nanoseconds, for utilization stats
 }
 
 // NewServer returns a server with n ports. n must be positive.
@@ -24,6 +31,14 @@ func NewServer(n int) *Server {
 		panic(fmt.Sprintf("simtime: server needs at least one port, got %d", n))
 	}
 	return &Server{ports: make([]int64, n)}
+}
+
+// NewSerialServer returns a server whose callers promise external
+// serialization (the lockstep floor), eliding the internal mutex.
+func NewSerialServer(n int) *Server {
+	s := NewServer(n)
+	s.serial = true
+	return s
 }
 
 // Ports reports the number of ports.
@@ -35,7 +50,10 @@ func (s *Server) Ports() int {
 // than now, holding it for hold nanoseconds, and returns the virtual
 // time at which the request completes.
 func (s *Server) Acquire(now, hold int64) int64 {
-	s.mu.Lock()
+	if !s.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	best := 0
 	for i := 1; i < len(s.ports); i++ {
 		if s.ports[i] < s.ports[best] {
@@ -49,7 +67,6 @@ func (s *Server) Acquire(now, hold int64) int64 {
 	done := start + hold
 	s.ports[best] = done
 	s.busy += hold
-	s.mu.Unlock()
 	return done
 }
 
@@ -57,8 +74,10 @@ func (s *Server) Acquire(now, hold int64) int64 {
 // returns the completion time and true, or 0 and false if all ports
 // are busy at now.
 func (s *Server) TryAcquire(now, hold int64) (int64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	for i := range s.ports {
 		if s.ports[i] <= now {
 			done := now + hold
@@ -73,8 +92,10 @@ func (s *Server) TryAcquire(now, hold int64) (int64, bool) {
 // NextFree reports the earliest virtual time at which any port is
 // free. Useful for backpressure decisions.
 func (s *Server) NextFree() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	best := s.ports[0]
 	for _, f := range s.ports[1:] {
 		if f < best {
@@ -87,17 +108,21 @@ func (s *Server) NextFree() int64 {
 // BusyTime reports the cumulative busy nanoseconds across all ports,
 // for utilization accounting.
 func (s *Server) BusyTime() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	return s.busy
 }
 
 // Reset clears all port reservations and accumulated busy time.
 func (s *Server) Reset() {
-	s.mu.Lock()
+	if !s.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	for i := range s.ports {
 		s.ports[i] = 0
 	}
 	s.busy = 0
-	s.mu.Unlock()
 }

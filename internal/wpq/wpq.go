@@ -40,6 +40,11 @@ type Config struct {
 	DRAMReadHold   int64
 	StreamDiscount int64 // divisor applied to sequential-line NVM writes
 	Threads        int   // number of hardware threads (for stream tracking)
+	// Lockstep promises that the lockstep scheduler serializes every
+	// caller (one simulated thread executes at any instant), letting the
+	// controller and its port servers skip their internal locking on the
+	// hottest simulator path. Leave false for concurrent-mode engines.
+	Lockstep bool
 }
 
 // DefaultConfig returns the calibration used throughout the
@@ -64,9 +69,12 @@ func DefaultConfig(threads int) Config {
 // nor noLine+1 is a line number any simulated device can contain.
 const noLine = uint64(1) << 62
 
-// Controller is the memory controller model. Safe for concurrent use.
+// Controller is the memory controller model. Safe for concurrent use
+// unless built with Config.Lockstep, in which case the lockstep floor
+// provides the serialization the elided locks would have.
 type Controller struct {
 	cfg       Config
+	serial    bool
 	nvmWrite  *simtime.Server
 	nvmRead   *simtime.Server
 	dramWrite *simtime.Server
@@ -97,12 +105,17 @@ func New(cfg Config) *Controller {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
+	mk := simtime.NewServer
+	if cfg.Lockstep {
+		mk = simtime.NewSerialServer
+	}
 	c := &Controller{
 		cfg:       cfg,
-		nvmWrite:  simtime.NewServer(cfg.NVMWritePorts),
-		nvmRead:   simtime.NewServer(cfg.NVMReadPorts),
-		dramWrite: simtime.NewServer(cfg.DRAMWritePorts),
-		dramRead:  simtime.NewServer(cfg.DRAMReadPorts),
+		serial:    cfg.Lockstep,
+		nvmWrite:  mk(cfg.NVMWritePorts),
+		nvmRead:   mk(cfg.NVMReadPorts),
+		dramWrite: mk(cfg.DRAMWritePorts),
+		dramRead:  mk(cfg.DRAMReadPorts),
 		ring:      make([]int64, cfg.Depth),
 		lastLine:  make([]uint64, cfg.Threads),
 	}
@@ -119,9 +132,11 @@ func (c *Controller) Config() Config { return c.cfg }
 // clear). The callback runs under the controller lock and must not
 // call back into the controller. Install before traffic starts.
 func (c *Controller) SetObserver(fn func(acceptVT, stallNS int64, occupancy int)) {
-	c.mu.Lock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	c.observer = fn
-	c.mu.Unlock()
 }
 
 // Reset clears the queue state after a simulated power failure: the
@@ -130,7 +145,10 @@ func (c *Controller) SetObserver(fn func(acceptVT, stallNS int64, occupancy int)
 // are left alone (they only accumulate utilization statistics, and
 // virtual time itself keeps advancing across the crash).
 func (c *Controller) Reset() {
-	c.mu.Lock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	for i := range c.ring {
 		c.ring[i] = 0
 	}
@@ -138,7 +156,6 @@ func (c *Controller) Reset() {
 	for i := range c.lastLine {
 		c.lastLine[i] = noLine
 	}
-	c.mu.Unlock()
 }
 
 // EnqueueNVM accepts a line flush into the WPQ at virtual time now on
@@ -148,7 +165,10 @@ func (c *Controller) Reset() {
 // NoReserve waits for). If the WPQ is full, accept is delayed until
 // the oldest in-flight drain completes.
 func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain int64) {
-	c.mu.Lock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	accept = now
 	stall := int64(0)
 	// The entry Depth-back must have drained before a new slot frees.
@@ -180,7 +200,6 @@ func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain 
 		}
 		c.observer(accept, stall, occ)
 	}
-	c.mu.Unlock()
 	return accept, drain
 }
 
@@ -220,8 +239,10 @@ func (c *Controller) WriteNVMBulk(now int64, lines int) int64 {
 // virtual time vt — the state an ADR flush-on-failure must finish
 // writing. Bounded by the queue depth by construction.
 func (c *Controller) OccupancyAt(vt int64) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	n := 0
 	for _, drain := range c.ring {
 		if drain > vt {
@@ -234,8 +255,10 @@ func (c *Controller) OccupancyAt(vt int64) int {
 // Stats reports the number of WPQ accepts and the cumulative stall
 // time caused by a full queue.
 func (c *Controller) Stats() (accepts, stallTime int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	return c.accepts, c.stallTime
 }
 
