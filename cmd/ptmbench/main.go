@@ -28,6 +28,11 @@
 // Observability:
 //
 //	ptmbench -fig 4 -breakdown     # append per-phase overhead tables
+//	ptmbench -fig 4 -counters      # append hardware-counter tables
+//	                               # (write/read amplification, XPBuffer
+//	                               # hit rate, commit-latency attribution)
+//	ptmbench -fig 4 -counters -metricsjson m.json # diffable metrics
+//	                               # report artifact (see cmd/ptmstat)
 //	ptmbench -fig 3 -trace out.json # trace ONE tiny point of the figure
 //	                                # and write Perfetto JSON (no sweep)
 //	ptmbench -fig 4 -sweeptrace sweep.json # record the sweep's own pace
@@ -43,6 +48,7 @@ import (
 	"goptm/internal/core"
 	"goptm/internal/durability"
 	"goptm/internal/harness"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/perfbench"
 	"goptm/internal/runner"
@@ -58,6 +64,8 @@ func main() {
 	verbose := flag.Bool("v", false, "stream per-point progress")
 	csvPath := flag.String("csv", "", "also append machine-readable CSV rows to this file")
 	breakdown := flag.Bool("breakdown", false, "print per-phase overhead decomposition tables (attaches the breakdown recorder)")
+	counters := flag.Bool("counters", false, "print hardware-counter tables per panel (attaches the counter registry; measured numbers are unchanged)")
+	metricsJSON := flag.String("metricsjson", "", "write the sweep's diffable metrics report JSON to this file (implies -counters)")
 	tracePath := flag.String("trace", "", "run one small traced measurement of the figure and write Perfetto/Chrome trace-event JSON to this file (skips the full sweep)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial; output is identical either way)")
 	useCache := flag.Bool("cache", false, "serve previously simulated points from -cachedir and store fresh ones")
@@ -105,10 +113,16 @@ func main() {
 		p = harness.Params{Threads: []int{1, 2}, WarmupNS: 100_000, MeasureNS: 500_000, Small: true}
 	}
 	p.Observe = *breakdown
+	p.Counters = *counters || *metricsJSON != ""
 
 	opts, cleanup, err := sweepOptions(*jobs, *useCache || *cacheInvalidate, *cacheDir, *cacheInvalidate, *shardSpec, *verbose, *sweepTrace)
 	if err != nil {
 		fail(err)
+	}
+
+	var report *metrics.Report
+	if *metricsJSON != "" {
+		report = harness.NewReport()
 	}
 
 	var csvOut io.Writer
@@ -122,7 +136,7 @@ func main() {
 	}
 
 	run := func(n int) {
-		if err := runFigure(n, p, opts, csvOut, *breakdown); err != nil {
+		if err := runFigure(n, p, opts, csvOut, *breakdown, report); err != nil {
 			fail(err)
 		}
 	}
@@ -132,6 +146,12 @@ func main() {
 		}
 	} else {
 		run(*fig)
+	}
+	if report != nil {
+		if err := metrics.WriteReportFile(*metricsJSON, report); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ptmbench: metrics report (%d cells) -> %s\n", len(report.Cells), *metricsJSON)
 	}
 	if err := cleanup(); err != nil {
 		fail(err)
@@ -190,11 +210,17 @@ func sweepOptions(jobs int, useCache bool, cacheDir string, invalidate bool, sha
 	return opts, cleanup, nil
 }
 
-func runFigure(n int, p harness.Params, opts harness.SweepOptions, csvOut io.Writer, breakdown bool) error {
+func runFigure(n int, p harness.Params, opts harness.SweepOptions, csvOut io.Writer, breakdown bool, report *metrics.Report) error {
 	emit := func(fig harness.Figure) error {
 		fig.Print(os.Stdout)
 		if breakdown {
 			fig.PrintBreakdown(os.Stdout)
+		}
+		if p.Counters {
+			fig.PrintCounters(os.Stdout)
+		}
+		if report != nil {
+			harness.AppendMetrics(report, fig)
 		}
 		if csvOut != nil {
 			return fig.WriteCSV(csvOut)
@@ -299,6 +325,9 @@ func runTraced(n int, path string, breakdown bool) error {
 
 	p := harness.QuickParams()
 	rc := harness.RunConfig{Threads: 4, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS}
+	// Sample the counter model at 64 points across the window so the
+	// trace carries the WPQ-occupancy/media/commit counter tracks.
+	rc.Metrics = metrics.New(metrics.Config{SampleIntervalNS: (p.WarmupNS + p.MeasureNS) / 64})
 	res, err := harness.RunTraced(cell, rc, wl.Make(p), f)
 	if err != nil {
 		return err

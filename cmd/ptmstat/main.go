@@ -1,0 +1,109 @@
+// Command ptmstat inspects and diffs the metrics-report JSON artifacts
+// that `ptmbench -counters -metricsjson` writes.
+//
+// Usage:
+//
+//	ptmstat -validate report.json
+//	    Schema-validate one artifact. Exit 0 if valid, 1 if not.
+//
+//	ptmstat [-threshold 0.05] base.json current.json
+//	    Diff two artifacts cell-by-cell (matched on figure, workload,
+//	    cell, and thread count) over the guarded metrics: commits,
+//	    aborts, media XPLine traffic, WPQ stall time, log bytes, and
+//	    the derived write/read amplification and stall-share ratios.
+//	    Metrics whose relative change exceeds -threshold are listed,
+//	    and the exit status is non-zero — wire it into CI against a
+//	    checked-in baseline to catch silent simulator drift. Under the
+//	    lockstep scheduler a sweep is bit-reproducible, so the natural
+//	    threshold is 0: any delta means the model changed.
+//
+//	    -v lists every guarded metric, not just the exceeding ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goptm/internal/metrics"
+)
+
+func main() {
+	validate := flag.String("validate", "", "schema-validate this metrics report and exit")
+	threshold := flag.Float64("threshold", 0, "relative change above which a metric fails the diff (0 = any change fails)")
+	verbose := flag.Bool("v", false, "list every compared metric, not only regressions")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ptmstat: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fail(err)
+		}
+		if err := metrics.ValidateReportJSON(data); err != nil {
+			fail(err)
+		}
+		rep, err := metrics.LoadReportFile(*validate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("ptmstat: %s: valid metrics report (schema %d, %d cells)\n",
+			*validate, rep.Schema, len(rep.Cells))
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ptmstat -validate report.json | ptmstat [-threshold 0.05] [-v] base.json current.json")
+		os.Exit(2)
+	}
+	base, err := metrics.LoadReportFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cur, err := metrics.LoadReportFile(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+
+	entries := metrics.Diff(base, cur, *threshold)
+	exceeded := 0
+	lastCell := ""
+	for _, e := range entries {
+		if !e.Exceeds && !*verbose {
+			continue
+		}
+		if e.Cell != lastCell {
+			fmt.Printf("%s\n", e.Cell)
+			lastCell = e.Cell
+		}
+		mark := " "
+		if e.Exceeds {
+			mark = "!"
+			exceeded++
+		}
+		fmt.Printf("  %s %-22s base %14.4f  cur %14.4f  rel %+6.2f%%\n",
+			mark, e.Metric, e.Base, e.Cur, 100*rel(e))
+	}
+	if exceeded > 0 {
+		fmt.Fprintf(os.Stderr, "ptmstat: %d metric(s) beyond threshold %.4f\n", exceeded, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ptmstat: %d cells compared, no metric beyond threshold %.4f\n", len(cur.Cells), *threshold)
+}
+
+// rel recovers the signed relative delta for display (DiffEntry.Rel is
+// the absolute value used for thresholding).
+func rel(e metrics.DiffEntry) float64 {
+	den := e.Base
+	if den < 0 {
+		den = -den
+	}
+	if den < 1 {
+		den = 1
+	}
+	return (e.Cur - e.Base) / den
+}

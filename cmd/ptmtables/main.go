@@ -33,6 +33,7 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "table to regenerate: 1, 2, or 3")
+	counters := flag.Bool("counters", false, "append hardware-counter tables to tables 1 and 2 (attaches the counter registry; measured numbers are unchanged)")
 	logsize := flag.Bool("logsize", false, "measure redo-log footprints (§IV-B)")
 	energyFlag := flag.Bool("energy", false, "estimate reserve-power needs per domain (§V open question)")
 	recoveryFlag := flag.Bool("recovery", false, "measure post-crash recovery time vs outstanding log size")
@@ -50,6 +51,7 @@ func main() {
 	if *full {
 		p = harness.FullParams()
 	}
+	p.Counters = *counters
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "ptmtables: %v\n", err)
@@ -87,6 +89,9 @@ func main() {
 			fail(err)
 		}
 		fig.PrintRatios(os.Stdout)
+		if p.Counters {
+			fig.PrintCounters(os.Stdout)
+		}
 		sweepRan = true
 	}
 	if *all || *table == 2 {
@@ -95,6 +100,9 @@ func main() {
 			fail(err)
 		}
 		fig.PrintRatios(os.Stdout)
+		if p.Counters {
+			fig.PrintCounters(os.Stdout)
+		}
 		sweepRan = true
 	}
 	if *all || *table == 3 {

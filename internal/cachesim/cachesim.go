@@ -150,6 +150,18 @@ type Hierarchy struct {
 
 	statMu sync.Mutex
 	hits   [5]int64 // indexed by level
+	evicts Evictions
+}
+
+// Evictions is the hierarchy's cumulative eviction breakdown. Private
+// levels are latency filters, so their evictions are silent; L3
+// evictions split clean vs dirty, dirty ones being the implicit
+// writebacks that reach the memory controller.
+type Evictions struct {
+	L1      int64
+	L2      int64
+	L3Clean int64
+	L3Dirty int64
 }
 
 // New builds a hierarchy from cfg.
@@ -185,17 +197,24 @@ func (h *Hierarchy) shard(line uint64) int {
 // line first (the RFO read is charged by the caller via Level).
 func (h *Hierarchy) Access(tid int, line uint64, write bool) Result {
 	var res Result
+	var ev Evictions
 	l1, l2 := h.l1[tid], h.l2[tid]
 	switch {
 	case hitIn(l1, line):
 		res.Level = HitL1
 	case hitIn(l2, line):
 		res.Level = HitL2
-		l1.insert(line)
+		if _, e := l1.insert(line); e {
+			ev.L1++
+		}
 	default:
-		res = h.accessL3(line, write)
-		l2.insert(line)
-		l1.insert(line)
+		res, ev = h.accessL3(line, write)
+		if _, e := l2.insert(line); e {
+			ev.L2++
+		}
+		if _, e := l1.insert(line); e {
+			ev.L1++
+		}
 	}
 	if write && (res.Level == HitL1 || res.Level == HitL2) {
 		// Stores that hit a private level must still mark the shared
@@ -205,12 +224,23 @@ func (h *Hierarchy) Access(tid int, line uint64, write bool) Result {
 	}
 	if h.serial {
 		h.hits[res.Level]++
+		h.addEvictions(ev)
 	} else {
 		h.statMu.Lock()
 		h.hits[res.Level]++
+		h.addEvictions(ev)
 		h.statMu.Unlock()
 	}
 	return res
+}
+
+// addEvictions folds one access's eviction events into the cumulative
+// breakdown. Caller holds statMu in concurrent mode.
+func (h *Hierarchy) addEvictions(ev Evictions) {
+	h.evicts.L1 += ev.L1
+	h.evicts.L2 += ev.L2
+	h.evicts.L3Clean += ev.L3Clean
+	h.evicts.L3Dirty += ev.L3Dirty
 }
 
 func hitIn(b *bank, line uint64) bool {
@@ -218,8 +248,11 @@ func hitIn(b *bank, line uint64) bool {
 	return ok
 }
 
-// accessL3 probes the shared L3, filling on miss.
-func (h *Hierarchy) accessL3(line uint64, write bool) Result {
+// accessL3 probes the shared L3, filling on miss. The returned
+// Evictions records the fill's victim, split clean/dirty (evictions
+// from dirtyL3's re-insert path are not counted, matching the timing
+// model, which generates no writeback traffic there either).
+func (h *Hierarchy) accessL3(line uint64, write bool) (Result, Evictions) {
 	s := &h.l3[h.shard(line)]
 	if !h.serial {
 		s.mu.Lock()
@@ -229,19 +262,25 @@ func (h *Hierarchy) accessL3(line uint64, write bool) Result {
 		if write {
 			s.b.ents[i].dirty = true
 		}
-		return Result{Level: HitL3}
+		return Result{Level: HitL3}, Evictions{}
 	}
 	victim, evicted := s.b.insert(line)
 	res := Result{Level: Miss}
-	if evicted && victim.dirty {
-		res.WritebackLine = victim.tag
-		res.HasWriteback = true
+	var ev Evictions
+	if evicted {
+		if victim.dirty {
+			ev.L3Dirty++
+			res.WritebackLine = victim.tag
+			res.HasWriteback = true
+		} else {
+			ev.L3Clean++
+		}
 	}
 	if write {
 		i, _ := s.b.lookup(line)
 		s.b.ents[i].dirty = true
 	}
-	return res
+	return res, ev
 }
 
 // dirtyL3 marks line dirty in L3 if present; if the line is absent
@@ -317,6 +356,15 @@ func (h *Hierarchy) HitCounts() [5]int64 {
 		defer h.statMu.Unlock()
 	}
 	return h.hits
+}
+
+// EvictionCounts returns the cumulative eviction breakdown.
+func (h *Hierarchy) EvictionCounts() Evictions {
+	if !h.serial {
+		h.statMu.Lock()
+		defer h.statMu.Unlock()
+	}
+	return h.evicts
 }
 
 // HitRate reports the fraction of accesses served by some cache level

@@ -221,3 +221,37 @@ func TestDirtyLineCountAndLines(t *testing.T) {
 		t.Fatal("Lines() not positive")
 	}
 }
+
+func TestEvictionCounts(t *testing.T) {
+	h := tiny(1)
+	if ev := h.EvictionCounts(); ev != (Evictions{}) {
+		t.Fatalf("fresh hierarchy evictions = %+v", ev)
+	}
+	// L1: 8 lines, 2-way, 4 sets. Three same-set lines force one L1
+	// eviction (set 0: lines 0, 4, 8).
+	h.Access(0, 0, false)
+	h.Access(0, 4, false)
+	h.Access(0, 8, false)
+	if ev := h.EvictionCounts(); ev.L1 != 1 {
+		t.Fatalf("L1 evictions = %d, want 1 (%+v)", ev.L1, ev)
+	}
+	// Flood a 1-way-per-shard L3 with clean then dirty lines: every
+	// L3 eviction must land in exactly one of the clean/dirty counts
+	// and dirty ones must appear once writes are in the mix.
+	h2 := New(Config{
+		Threads: 1,
+		L1Lines: 2, L1Ways: 1,
+		L2Lines: 2, L2Ways: 1,
+		L3Lines: shards, L3Ways: 1,
+	})
+	for i := uint64(0); i < 64; i++ {
+		h2.Access(0, i, i%2 == 0)
+	}
+	ev := h2.EvictionCounts()
+	if ev.L3Clean+ev.L3Dirty == 0 {
+		t.Fatalf("flooded 1-way L3 recorded no evictions: %+v", ev)
+	}
+	if ev.L3Dirty == 0 {
+		t.Fatalf("write traffic produced no dirty L3 evictions: %+v", ev)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"goptm/internal/durability"
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/wpq"
 )
@@ -146,6 +147,15 @@ type Config struct {
 	// events, threaded through every layer down to the memory system.
 	// nil disables observability at zero cost.
 	Recorder *obs.Recorder
+
+	// Metrics attaches the hardware-counter registry (PMWatch-style
+	// media/WPQ telemetry plus virtual-time sampling). It is shared
+	// with the memory system: the WPQ controller feeds the media model
+	// and occupancy gauge, the TM the transaction-outcome counters.
+	// nil keeps the counter model off the device hot path; the TM then
+	// builds a private counters-only registry for its own outcome
+	// counters (Commits/Aborts never lose their home).
+	Metrics *metrics.Registry
 }
 
 // BackoffPolicy selects what a thread does after an aborted attempt.

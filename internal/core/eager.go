@@ -2,6 +2,7 @@ package core
 
 import (
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 )
 
@@ -122,6 +123,7 @@ func (tx *Tx) storeEager(a memdev.Addr, v uint64) {
 func (th *Thread) commitEager(tx *Tx) {
 	if len(th.undo) == 0 {
 		th.stats.ReadOnlyTxns++
+		th.tm.met.Add(metrics.CtrReadOnlyTxns, 1)
 		return
 	}
 	// All in-place data flushes must be durable before the log is

@@ -2,6 +2,7 @@ package core
 
 import (
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 )
 
@@ -89,6 +90,7 @@ func (tx *Tx) storeHTM(a memdev.Addr, v uint64) {
 func (th *Thread) commitHTM(tx *Tx) {
 	if len(th.wlog) == 0 {
 		th.stats.ReadOnlyTxns++
+		th.tm.met.Add(metrics.CtrReadOnlyTxns, 1)
 		return
 	}
 	t := th.tm.orecs

@@ -2,6 +2,7 @@ package core
 
 import (
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 )
 
@@ -137,6 +138,7 @@ func (th *Thread) commitLazy(tx *Tx) {
 		// Read-only transactions commit without locking or logging;
 		// every read was validated against rv at execution time.
 		th.stats.ReadOnlyTxns++
+		th.tm.met.Add(metrics.CtrReadOnlyTxns, 1)
 		return
 	}
 	t := th.tm.orecs

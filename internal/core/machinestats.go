@@ -36,8 +36,10 @@ func (tm *TM) MachineStats() MachineStats {
 	ms.Commits = tm.Commits()
 	ms.Aborts = tm.Aborts()
 	ms.AbortReasons = tm.AbortsByReason()
-	ms.NVMStores, ms.WPQAccepts = tm.bus.Device().Stats()
-	_, ms.WPQStallNS = tm.bus.Controller().Stats()
+	dev := tm.bus.Device().Counters()
+	ms.NVMStores = dev.NVMStores
+	ms.WPQAccepts = dev.Flushes
+	ms.WPQStallNS = tm.bus.Controller().Counters().StallNS
 	ms.NVMWriteBusyNS, ms.NVMReadBusyNS = tm.bus.Controller().Utilization()
 	ms.CacheHits = tm.bus.Cache().HitCounts()
 	if pc := tm.bus.PageCache(); pc != nil {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"goptm/internal/cachesim"
+	"goptm/internal/metrics"
+	"goptm/internal/wpq"
+)
+
+// MetricsSnapshot assembles the machine's complete counter state into
+// one flat metrics.Snapshot: device traffic from memdev, WPQ pressure
+// from the controller, cache and page-cache activity, orec contention,
+// and — last, because the amplification ratios divide media traffic by
+// the device fields — the registry-owned transaction and media
+// counters.
+func (tm *TM) MetricsSnapshot() metrics.Snapshot {
+	var s metrics.Snapshot
+
+	dev := tm.bus.Device().Counters()
+	s.NVMLoads = dev.NVMLoads
+	s.NVMStores = dev.NVMStores
+	s.Flushes = dev.Flushes
+
+	ctl := tm.bus.Controller().Counters()
+	s.WPQAccepts = ctl.Accepts
+	s.WPQStallNS = ctl.StallNS
+	s.WPQStallEvents = ctl.StallEvents
+	s.WPQMaxOccupancy = int64(ctl.MaxOccupancy)
+	s.WPQCombinedHits = ctl.CombinedHits
+	s.WPQAcceptsCLWB = ctl.AcceptsByCause[wpq.CauseCLWB]
+	s.WPQAcceptsEviction = ctl.AcceptsByCause[wpq.CauseEviction]
+	s.WPQAcceptsWCDrain = ctl.AcceptsByCause[wpq.CauseWCDrain]
+	s.WPQStallNSCLWB = ctl.StallNSByCause[wpq.CauseCLWB]
+	s.WPQStallNSEviction = ctl.StallNSByCause[wpq.CauseEviction]
+	s.WPQStallNSWCDrain = ctl.StallNSByCause[wpq.CauseWCDrain]
+	s.NVMWriteBusyNS, s.NVMReadBusyNS = tm.bus.Controller().Utilization()
+
+	hits := tm.bus.Cache().HitCounts()
+	s.CacheHitL1 = hits[cachesim.HitL1]
+	s.CacheHitL2 = hits[cachesim.HitL2]
+	s.CacheHitL3 = hits[cachesim.HitL3]
+	s.CacheMisses = hits[cachesim.Miss]
+	ev := tm.bus.Cache().EvictionCounts()
+	s.CacheEvictL1 = ev.L1
+	s.CacheEvictL2 = ev.L2
+	s.CacheEvictL3 = ev.L3Clean
+	s.CacheEvictL3Dirty = ev.L3Dirty
+
+	if pc := tm.bus.PageCache(); pc != nil {
+		ps := pc.Stats()
+		s.PageHits = ps.Hits
+		s.PageMisses = ps.Misses
+		s.PageEvictions = ps.Evictions
+		s.PageWritebacks = ps.Writebacks
+		s.PagePrefetches = ps.Prefetches
+		s.PagePrefetchHits = ps.PrefetchHit
+		s.PageAsyncCleans = ps.AsyncCleans
+	}
+
+	s.OrecCASFailures = tm.orecs.CASFailures()
+
+	s.FillRegistry(tm.met)
+	return s
+}

@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"goptm/internal/alloc"
 	"goptm/internal/durability"
 	"goptm/internal/membus"
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/orec"
 )
@@ -22,9 +22,11 @@ type TM struct {
 	stride uint64      // descriptor stride in words
 	rec    *obs.Recorder
 
-	commits  atomic.Int64
-	aborts   atomic.Int64
-	abortsBy [NumAbortReasons]atomic.Int64
+	// met is the counter registry — the single home of the
+	// commit/abort/abort-reason counters. Always non-nil: when the
+	// configuration supplies none, a private zero-config registry
+	// provides the same atomic counters the TM previously kept ad hoc.
+	met *metrics.Registry
 
 	// crashHook, when non-nil, is invoked at named points of the
 	// commit protocols so crash-recovery tests can cut execution at
@@ -101,6 +103,7 @@ func New(cfg Config) (*TM, error) {
 		WindowNS:   cfg.WindowNS,
 		Lockstep:   cfg.Lockstep,
 		Recorder:   cfg.Recorder,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -113,6 +116,7 @@ func New(cfg Config) (*TM, error) {
 		base:   mediumBase(cfg.Medium),
 		stride: descStride(cfg.MaxLogEntries),
 		rec:    cfg.Recorder,
+		met:    ensureRegistry(cfg),
 	}
 
 	// Under PDRAM-Lite the per-thread log areas live in persistent
@@ -164,6 +168,16 @@ func newOrecs(cfg Config) *orec.Table {
 	return orec.New(cfg.OrecSize)
 }
 
+// ensureRegistry returns the configured metrics registry, or a private
+// zero-config one (counters only, no sampling) so the TM's outcome
+// counters always have a home.
+func ensureRegistry(cfg Config) *metrics.Registry {
+	if cfg.Metrics != nil {
+		return cfg.Metrics
+	}
+	return metrics.New(metrics.Config{Serial: cfg.Lockstep})
+}
+
 func alignLine(w uint64) uint64 {
 	return (w + memdev.WordsPerLine - 1) &^ uint64(memdev.WordsPerLine-1)
 }
@@ -189,29 +203,30 @@ func (tm *TM) Config() Config { return tm.cfg }
 // observability is off).
 func (tm *TM) Recorder() *obs.Recorder { return tm.rec }
 
+// Metrics exposes the counter registry (always non-nil).
+func (tm *TM) Metrics() *metrics.Registry { return tm.met }
+
 // Commits reports the total committed transactions.
-func (tm *TM) Commits() int64 { return tm.commits.Load() }
+func (tm *TM) Commits() int64 { return tm.met.Get(metrics.CtrCommits) }
 
 // Aborts reports the total aborted transaction attempts.
-func (tm *TM) Aborts() int64 { return tm.aborts.Load() }
+func (tm *TM) Aborts() int64 { return tm.met.Get(metrics.CtrAborts) }
 
 // AbortsByReason reports the aborted attempts classified by cause.
 func (tm *TM) AbortsByReason() [NumAbortReasons]int64 {
 	var out [NumAbortReasons]int64
 	for i := range out {
-		out[i] = tm.abortsBy[i].Load()
+		out[i] = tm.met.Get(abortCounter(AbortReason(i)))
 	}
 	return out
 }
 
-// ResetStats zeroes the global commit/abort counters (used to exclude
-// warmup from measurements).
+// ResetStats zeroes the global transaction-outcome counters (used to
+// exclude warmup from measurements). Device and media counters remain
+// cumulative since construction, matching the component counters they
+// are read alongside.
 func (tm *TM) ResetStats() {
-	tm.commits.Store(0)
-	tm.aborts.Store(0)
-	for i := range tm.abortsBy {
-		tm.abortsBy[i].Store(0)
-	}
+	tm.met.ResetTxnCounters()
 }
 
 // SetRoot durably publishes a root pointer (see alloc.Heap.SetRoot).
@@ -252,6 +267,7 @@ func Attach(bus *membus.Bus, cfg Config) (*TM, error) {
 		base:   mediumBase(cfg.Medium),
 		stride: descStride(cfg.MaxLogEntries),
 		rec:    cfg.Recorder,
+		met:    ensureRegistry(cfg),
 	}
 	probe := bus.NewContext(0)
 	defer probe.Detach()

@@ -5,6 +5,7 @@ import (
 
 	"goptm/internal/membus"
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/simtime"
 	"goptm/internal/stats"
@@ -238,9 +239,10 @@ func (th *Thread) Atomic(fn func(tx *Tx)) {
 		attemptStart := th.ctx.Now()
 		if th.runAttempt(fn, mode) {
 			th.stats.Commits++
-			th.tm.commits.Add(1)
+			th.tm.met.Add(metrics.CtrCommits, 1)
 			th.capacityHit = false
 			now := th.ctx.Now()
+			th.tm.met.Tick(now)
 			th.latency.Record(now - start)
 			th.rec.Span(obs.PhaseTxn, start, now)
 			if th.rec.Tracing() && th.stats.Commits&(counterSampleEvery-1) == 0 {
@@ -249,7 +251,7 @@ func (th *Thread) Atomic(fn func(tx *Tx)) {
 			return
 		}
 		th.stats.Aborts++
-		th.tm.aborts.Add(1)
+		th.tm.met.Add(metrics.CtrAborts, 1)
 		// The whole doomed attempt — body execution plus rollback — is
 		// wasted virtual time, attributed to the abort phase.
 		th.rec.Span(obs.PhaseAbort, attemptStart, th.ctx.Now())
@@ -280,11 +282,17 @@ func (th *Thread) sampleCounters(now int64) {
 	}
 }
 
+// abortCounter maps an abort reason to its registry counter. The
+// per-reason counters are contiguous and in AbortReason order.
+func abortCounter(r AbortReason) metrics.Counter {
+	return metrics.CtrAbortLockConflict + metrics.Counter(r)
+}
+
 // noteAbort classifies an aborted attempt on the thread, the TM, and
 // the trace.
 func (th *Thread) noteAbort(r AbortReason) {
 	th.stats.AbortReasons[r]++
-	th.tm.abortsBy[r].Add(1)
+	th.tm.met.Add(abortCounter(r), 1)
 	th.rec.Instant(th.ctx.Now(), abortEventNames[r])
 }
 
@@ -511,7 +519,8 @@ func (tx *Tx) extend() bool {
 	return true
 }
 
-// noteLogHighWater records log-footprint stats (§IV-B).
+// noteLogHighWater records log-footprint stats (§IV-B) and feeds the
+// log-volume counters (each entry is two words: addr + value).
 func (th *Thread) noteLogHighWater(entries int) {
 	if entries > th.stats.MaxLogEntry {
 		th.stats.MaxLogEntry = entries
@@ -520,6 +529,8 @@ func (th *Thread) noteLogHighWater(entries int) {
 	if lines > th.stats.MaxLogLines {
 		th.stats.MaxLogLines = lines
 	}
+	th.tm.met.Add(metrics.CtrLogEntries, int64(entries))
+	th.tm.met.Add(metrics.CtrLogBytes, int64(entries)*2*metrics.WordBytes)
 }
 
 // Small wrappers around the orec word helpers keep call sites terse.

@@ -29,6 +29,13 @@ type Params struct {
 	// few integer ops per recorded span — leave it off for
 	// throughput-comparison runs.
 	Observe bool
+	// Counters attaches the hardware-counter model to every measurement
+	// (PMWatch-style media/WPQ telemetry, virtual-time series, and the
+	// per-cell attribution report). Implies the breakdown recorder,
+	// which the attribution shares come from. Counting never advances
+	// virtual time: all measured numbers are identical with it on or
+	// off.
+	Counters bool
 }
 
 // QuickParams runs in seconds per panel; FullParams reproduces the
@@ -199,8 +206,8 @@ func (f Figure) WriteCSV(w io.Writer) error {
 				strconv.FormatInt(r.Commits, 10),
 				strconv.FormatInt(r.Aborts, 10),
 				strconv.FormatFloat(r.CommitsPerAbort, 'f', 2, 64),
-				strconv.FormatInt(r.Latency.Percentile(50), 10),
-				strconv.FormatInt(r.Latency.Percentile(99), 10),
+				strconv.FormatInt(r.Latency.P50(), 10),
+				strconv.FormatInt(r.Latency.P99(), 10),
 				string(hist),
 			}
 			if err := cw.Write(rec); err != nil {
@@ -237,6 +244,35 @@ func (f Figure) PrintBreakdown(w io.Writer) {
 	fmt.Fprintf(w, "\n%s — %s (phase breakdown at %d threads)\n",
 		f.Name, f.Workload, f.Threads[len(f.Threads)-1])
 	obs.WriteTable(w, labels, rows)
+	f.printLatencyQuantiles(w)
+}
+
+// printLatencyQuantiles renders per-curve committed-transaction latency
+// quantiles at the figure's highest thread count (log2-bucket derived:
+// each value is an upper bound within 2x of the true quantile, clamped
+// to the observed maximum).
+func (f Figure) printLatencyQuantiles(w io.Writer) {
+	var printed bool
+	for i := range f.Series {
+		s := &f.Series[i]
+		if len(s.Results) == 0 {
+			continue
+		}
+		r := &s.Results[len(s.Results)-1]
+		if r.Latency.Count() == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(w, "\ntxn latency quantiles at %d threads (virtual µs; log2-bucket upper bounds)\n",
+				f.Threads[len(f.Threads)-1])
+			fmt.Fprintf(w, "%-26s %9s %9s %9s %9s %9s\n", "curve", "mean", "p50", "p90", "p99", "max")
+			printed = true
+		}
+		us := func(ns int64) float64 { return float64(ns) / 1000 }
+		fmt.Fprintf(w, "%-26s %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+			s.Cell.Label(), r.Latency.Mean()/1000,
+			us(r.Latency.P50()), us(r.Latency.P90()), us(r.Latency.P99()), us(r.Latency.Max()))
+	}
 }
 
 // PrintRatios renders the commits-per-abort view of the figure (the

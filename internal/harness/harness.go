@@ -15,6 +15,7 @@ import (
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/stats"
 	"goptm/internal/workload"
@@ -64,6 +65,12 @@ type RunConfig struct {
 	// trace events when the recorder traces). nil leaves it off; the
 	// instrumented paths then cost nothing.
 	Recorder *obs.Recorder
+	// Metrics attaches the hardware-counter registry (media/WPQ
+	// telemetry and the virtual-time series). nil leaves the counter
+	// model off the device paths; Result.Metrics stays nil. Counting is
+	// pure accounting — it never moves virtual time, so attaching a
+	// registry cannot change any measured number.
+	Metrics *metrics.Registry
 }
 
 // DefaultRun returns the standard measurement parameters used by the
@@ -98,6 +105,9 @@ type Result struct {
 	// Breakdown is the merged phase accounting (zero unless the run
 	// config attached a Recorder; cumulative including warmup).
 	Breakdown obs.Breakdown
+	// Metrics is the full counter snapshot (nil unless the run config
+	// attached a metrics registry; cumulative including warmup).
+	Metrics *metrics.Snapshot `json:",omitempty"`
 }
 
 // BuildTM assembles a TM for one cell and run configuration, sized
@@ -133,6 +143,7 @@ func BuildTM(c Cell, rc RunConfig, w workload.Workload) (*core.TM, error) {
 		NoFence:       c.NoFence,
 		Lockstep:      rc.Lockstep,
 		Recorder:      rc.Recorder,
+		Metrics:       rc.Metrics,
 	}
 	if rc.WPQDepth > 0 {
 		cfg.Ctl = wpq.DefaultConfig(rc.Threads)
@@ -154,13 +165,16 @@ func Run(c Cell, rc RunConfig, w workload.Workload) (Result, error) {
 // writes the run's Chrome trace-event JSON to w (open it in
 // ui.perfetto.dev). Tracing retains every span and counter sample, so
 // keep the measurement window small; the returned Result carries the
-// phase breakdown like any observed run.
+// phase breakdown like any observed run. When the run config also
+// attaches a metrics registry, its sampled time series is exported as
+// counter tracks in the same trace.
 func RunTraced(c Cell, rc RunConfig, wl workload.Workload, w io.Writer) (Result, error) {
 	rc.Recorder = obs.New(rc.Threads, true)
 	res, err := Run(c, rc, wl)
 	if err != nil {
 		return res, err
 	}
+	rc.Metrics.ExportTracks(rc.Recorder)
 	return res, rc.Recorder.WriteTrace(w)
 }
 
@@ -231,9 +245,13 @@ func RunOn(tm *core.TM, c Cell, rc RunConfig, w workload.Workload) Result {
 	if res.Aborts > 0 {
 		res.CommitsPerAbort = float64(res.Commits) / float64(res.Aborts)
 	}
-	_, res.WPQStallNS = tm.Bus().Controller().Stats()
+	res.WPQStallNS = tm.Bus().Controller().Counters().StallNS
 	res.EndVT = end
 	res.Machine = tm.MachineStats()
 	res.Breakdown = tm.Recorder().Breakdown()
+	if rc.Metrics != nil {
+		snap := tm.MetricsSnapshot()
+		res.Metrics = &snap
+	}
 	return res
 }

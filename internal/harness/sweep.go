@@ -14,6 +14,7 @@ import (
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/runner"
 	"goptm/internal/workload/kvstore"
@@ -42,6 +43,10 @@ type SweepOptions struct {
 	Progress *runner.Progress
 }
 
+// seriesSamples is how many fixed-interval samples a counters-enabled
+// sweep cell records across its warmup + measurement window.
+const seriesSamples = 64
+
 // pointKey is the canonical cache identity of one measurement. Field
 // order is the canonical JSON order — changing it orphans every
 // existing cache entry (bump SimVersion if you must).
@@ -54,6 +59,7 @@ type pointKey struct {
 	MeasureNS  int64  `json:"measure_ns"`
 	Small      bool   `json:"small"`
 	Observe    bool   `json:"observe"`
+	Counters   bool   `json:"counters,omitempty"`
 	L3Lines    int    `json:"l3_lines,omitempty"`
 	PageFrames int    `json:"page_frames,omitempty"`
 	Items      int    `json:"items,omitempty"`
@@ -66,13 +72,19 @@ func panelJob(mk WorkloadMaker, cell Cell, n int, p Params) runner.Job[Result] {
 		Key: runner.KeyJSON(pointKey{
 			Sim: SimVersion, Workload: mk.Name, Cell: cell.Label(),
 			Threads: n, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS,
-			Small: p.Small, Observe: p.Observe,
+			Small: p.Small, Observe: p.Observe, Counters: p.Counters,
 		}),
 		CostNS: p.WarmupNS + p.MeasureNS,
 		Run: func() (Result, error) {
 			rc := RunConfig{Threads: n, WarmupNS: p.WarmupNS, MeasureNS: p.MeasureNS, Lockstep: true}
-			if p.Observe {
+			if p.Observe || p.Counters {
 				rc.Recorder = obs.New(n, false) // breakdown accounting, no event retention
+			}
+			if p.Counters {
+				rc.Metrics = metrics.New(metrics.Config{
+					SampleIntervalNS: (p.WarmupNS + p.MeasureNS) / seriesSamples,
+					Serial:           true, // sweep jobs always run lockstep
+				})
 			}
 			return Run(cell, rc, mk.Make(p))
 		},

@@ -5,6 +5,7 @@ import (
 
 	"goptm/internal/durability"
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 )
 
 // TestHotPathZeroAlloc pins the recorder-disabled load/store/clwb path
@@ -46,5 +47,45 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		i++
 	}); n != 0 {
 		t.Errorf("store/clwb/sfence/load allocated %.2f allocs per run; the recorder-disabled hot path must stay allocation-free", n)
+	}
+}
+
+// TestHotPathZeroAllocWithMetrics repeats the pin with a counter
+// registry attached: the media model is fixed arrays and the counters
+// atomics, so an *enabled* registry must also cost zero allocations
+// per op (the series sampler allocates only on its interval ticks,
+// which the commit path drives, not this path).
+func TestHotPathZeroAllocWithMetrics(t *testing.T) {
+	bus := MustNew(Config{
+		Threads:  1,
+		Domain:   durability.ADR,
+		Dev:      memdev.Config{NVMWords: 1 << 16, DRAMWords: 1 << 14},
+		Lockstep: true,
+		Metrics:  metrics.New(metrics.Config{Serial: true}),
+	})
+	ctx := bus.NewContext(0)
+	defer ctx.Detach()
+
+	const span = 1 << 12
+	for i := uint64(0); i < span; i++ {
+		a := memdev.Addr(i)
+		ctx.Store(a, i)
+		ctx.CLWB(a)
+		if i%64 == 0 {
+			ctx.SFence()
+		}
+	}
+	ctx.SFence()
+
+	var i uint64
+	if n := testing.AllocsPerRun(2000, func() {
+		a := memdev.Addr(i * 9 % span)
+		ctx.Store(a, i)
+		ctx.CLWB(a)
+		ctx.SFence()
+		ctx.Load(a)
+		i++
+	}); n != 0 {
+		t.Errorf("metrics-enabled hot path allocated %.2f allocs per run; counting must stay allocation-free", n)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"goptm/internal/obs"
 	"goptm/internal/pagecache"
 	"goptm/internal/simtime"
+	"goptm/internal/wpq"
 )
 
 // Stats counts the memory operations a context has performed.
@@ -143,7 +144,7 @@ func (c *Context) miss(a memdev.Addr, now int64, write bool) {
 			c.rec.Span(obs.PhaseMediaWait, faultStart, c.th.Now())
 		}
 	default:
-		done := b.ctl.ReadNVM(now)
+		done := b.ctl.ReadNVM(now, uint64(a)>>memdev.LineShift)
 		c.th.AdvanceTo(done + b.lat.NVMBase)
 		c.rec.Span(obs.PhaseMediaWait, now, c.th.Now())
 	}
@@ -156,7 +157,7 @@ func (c *Context) writeback(line uint64) {
 	b := c.bus
 	a := memdev.Addr(line << memdev.LineShift)
 	if b.dev.IsNVM(a) && !b.routedNVM(a) {
-		_, drain := b.ctl.EnqueueNVM(c.th.Now(), c.tid, line)
+		_, drain := b.ctl.EnqueueNVM(c.th.Now(), c.tid, line, wpq.CauseEviction)
 		b.dev.WPQAccept(line, drain)
 		return
 	}
@@ -211,7 +212,7 @@ func (c *Context) flushWC() {
 	line := uint64(c.wcLine)
 	c.wcLine = -1
 	now := c.th.Now()
-	accept, drain := b.ctl.EnqueueNVM(now, c.tid, line)
+	accept, drain := b.ctl.EnqueueNVM(now, c.tid, line, wpq.CauseWCDrain)
 	b.dev.WPQAccept(line, drain)
 	c.rec.Span(obs.PhaseWPQStall, now, accept)
 	if accept > c.pendingFence {
@@ -242,7 +243,7 @@ func (c *Context) CLWB(a memdev.Addr) {
 	b.cache.Clean(line)
 	now := c.th.Now()
 	if b.dev.IsNVM(a) {
-		accept, drain := b.ctl.EnqueueNVM(now, c.tid, line)
+		accept, drain := b.ctl.EnqueueNVM(now, c.tid, line, wpq.CauseCLWB)
 		b.dev.WPQAccept(line, drain)
 		// A clwb is asynchronous, so a queue-full delay is not a stall
 		// *here* — it pushes the fence horizon out. Attribute the delay

@@ -31,6 +31,7 @@ import (
 	"goptm/internal/cachesim"
 	"goptm/internal/durability"
 	"goptm/internal/memdev"
+	"goptm/internal/metrics"
 	"goptm/internal/obs"
 	"goptm/internal/pagecache"
 	"goptm/internal/simtime"
@@ -97,6 +98,10 @@ type Config struct {
 	// (fence-wait, WPQ stall, media wait) and, when tracing, the WPQ
 	// occupancy counter track. nil disables it at zero cost.
 	Recorder *obs.Recorder
+	// Metrics attaches the PMWatch-style counter registry: the memory
+	// controller feeds its media model (XPLine write/read traffic) and
+	// WPQ pressure gauge. nil disables it at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Bus is the assembled memory system.
@@ -243,6 +248,9 @@ func New(cfg Config) (*Bus, error) {
 		b.routeMode = routeAll
 	case cfg.Domain == durability.PDRAMLite:
 		b.routeMode = routeTable
+	}
+	if cfg.Metrics != nil {
+		b.ctl.SetMetrics(cfg.Metrics)
 	}
 	if cfg.Recorder.Tracing() {
 		// WPQ occupancy is a machine-level quantity: feed every accept

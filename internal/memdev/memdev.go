@@ -103,6 +103,7 @@ type Device struct {
 	pendingFree []int32        // dead slots available for reuse
 	pendingLive int            // live entry count
 
+	loads   int64 // NVM load count, for stats
 	stores  int64 // NVM store count, for stats
 	flushes int64 // WPQ accepts, for stats
 }
@@ -231,11 +232,18 @@ func (d *Device) pendingClear() {
 	d.pendingLive = 0
 }
 
-// Load returns the current (volatile) value of the word at a.
+// Load returns the current (volatile) value of the word at a. NVM
+// loads are counted (the denominator of read amplification).
 func (d *Device) Load(a Addr) uint64 {
 	arr, i := d.index(a)
 	if d.serial {
+		if a < Addr(d.nvmWords) {
+			d.loads++
+		}
 		return arr[i]
+	}
+	if a < Addr(d.nvmWords) {
+		atomic.AddInt64(&d.loads, 1)
 	}
 	return atomic.LoadUint64(&arr[i])
 }
@@ -336,12 +344,33 @@ func (d *Device) PendingLines() int {
 	return d.pendingLive
 }
 
-// Stats reports cumulative NVM stores and WPQ accepts.
-func (d *Device) Stats() (stores, flushes int64) {
+// Counters is the device's cumulative event counts: word loads and
+// stores addressed to NVM (the denominators of read and write
+// amplification) and WPQ accepts (clwb or eviction snapshots).
+type Counters struct {
+	NVMLoads  int64
+	NVMStores int64
+	Flushes   int64
+}
+
+// Counters reports the device's cumulative counters.
+func (d *Device) Counters() Counters {
 	if d.serial {
-		return d.stores, d.flushes
+		return Counters{NVMLoads: d.loads, NVMStores: d.stores, Flushes: d.flushes}
 	}
-	return atomic.LoadInt64(&d.stores), atomic.LoadInt64(&d.flushes)
+	return Counters{
+		NVMLoads:  atomic.LoadInt64(&d.loads),
+		NVMStores: atomic.LoadInt64(&d.stores),
+		Flushes:   atomic.LoadInt64(&d.flushes),
+	}
+}
+
+// Stats reports cumulative NVM stores and WPQ accepts.
+//
+// Deprecated: use Counters, which also carries NVM loads.
+func (d *Device) Stats() (stores, flushes int64) {
+	c := d.Counters()
+	return c.NVMStores, c.Flushes
 }
 
 // Crash applies a power failure at virtual time vt under the given

@@ -339,3 +339,24 @@ func TestLineAddrRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestCounters(t *testing.T) {
+	d := newDev(t)
+	d.Store(0, 1)
+	d.Store(8, 2)
+	d.Load(0)
+	d.Load(8)
+	d.Load(16)
+	d.Store(DRAMBase, 9) // DRAM traffic is not NVM traffic
+	d.Load(DRAMBase)
+	d.WPQAccept(0, 0)
+	k := d.Counters()
+	if k.NVMStores != 2 || k.NVMLoads != 3 || k.Flushes != 1 {
+		t.Fatalf("counters = %+v, want stores 2, loads 3, flushes 1", k)
+	}
+	// The deprecated two-value form must agree.
+	stores, flushes := d.Stats()
+	if stores != k.NVMStores || flushes != k.Flushes {
+		t.Fatalf("Stats() = (%d, %d) disagrees with Counters() %+v", stores, flushes, k)
+	}
+}

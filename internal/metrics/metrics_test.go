@@ -1,0 +1,234 @@
+package metrics
+
+import "testing"
+
+// TestNilRegistry pins the nil-safe discipline: every method must be
+// callable on a nil *Registry (the disabled configuration).
+func TestNilRegistry(t *testing.T) {
+	var m *Registry
+	m.Add(CtrCommits, 1)
+	m.MediaWriteLine(3)
+	m.MediaReadLine(3)
+	m.MediaBulkWrite(8)
+	m.MediaBulkRead(8)
+	m.WPQAccept(10, 5)
+	m.Tick(1000)
+	m.ResetTxnCounters()
+	if got := m.Get(CtrCommits); got != 0 {
+		t.Fatalf("nil registry Get = %d, want 0", got)
+	}
+	if s := m.Samples(); s != nil {
+		t.Fatalf("nil registry Samples = %v, want nil", s)
+	}
+	m.ExportTracks(nil)
+}
+
+func TestCounterNames(t *testing.T) {
+	for c := Counter(0); c < NumCounters; c++ {
+		if c.String() == "" || c.String() == "counter?" {
+			t.Fatalf("counter %d has no name", c)
+		}
+	}
+	if Counter(NumCounters).String() != "counter?" {
+		t.Fatalf("out-of-range counter should render counter?")
+	}
+}
+
+// TestXPBufferCoalescing checks the media model's core property: lines
+// within one open XPLine coalesce, lines beyond the 16-way capacity
+// evict LRU-first.
+func TestXPBufferCoalescing(t *testing.T) {
+	m := New(Config{Serial: true})
+
+	// Four lines of one XPLine: 1 media write + 3 XPBuffer hits.
+	for line := uint64(0); line < LinesPerXP; line++ {
+		m.MediaWriteLine(line)
+	}
+	if got := m.Get(CtrMediaWriteXPLines); got != 1 {
+		t.Fatalf("media writes = %d, want 1", got)
+	}
+	if got := m.Get(CtrXPBufWriteHits); got != 3 {
+		t.Fatalf("xpbuf hits = %d, want 3", got)
+	}
+
+	// Touch 16 more distinct XPLines: XPLine 0 is now LRU and evicted,
+	// so revisiting line 0 misses again.
+	for xp := uint64(1); xp <= XPBufferWays; xp++ {
+		m.MediaWriteLine(xp * LinesPerXP)
+	}
+	before := m.Get(CtrMediaWriteXPLines)
+	m.MediaWriteLine(0)
+	if got := m.Get(CtrMediaWriteXPLines); got != before+1 {
+		t.Fatalf("evicted XPLine did not cost a media write: %d -> %d", before, got)
+	}
+}
+
+// TestXPBufferMoveToFront checks that a hit refreshes recency: the hit
+// entry must survive a fill that evicts everything older.
+func TestXPBufferMoveToFront(t *testing.T) {
+	m := New(Config{Serial: true})
+	for xp := uint64(0); xp < XPBufferWays; xp++ {
+		m.MediaWriteLine(xp * LinesPerXP) // fill: 0 is LRU-most after this
+	}
+	m.MediaWriteLine(0) // hit XPLine 0 -> most recent
+	// 15 new XPLines evict everything except the freshest entry (0).
+	for xp := uint64(100); xp < 100+XPBufferWays-1; xp++ {
+		m.MediaWriteLine(xp * LinesPerXP)
+	}
+	before := m.Get(CtrXPBufWriteHits)
+	m.MediaWriteLine(0)
+	if got := m.Get(CtrXPBufWriteHits); got != before+1 {
+		t.Fatalf("refreshed XPLine was evicted; hits %d -> %d", before, got)
+	}
+}
+
+// TestReadWriteBuffersIndependent checks reads and writes probe
+// separate XPBuffers.
+func TestReadWriteBuffersIndependent(t *testing.T) {
+	m := New(Config{Serial: true})
+	m.MediaWriteLine(0)
+	m.MediaReadLine(0)
+	if got := m.Get(CtrMediaReadXPLines); got != 1 {
+		t.Fatalf("read after write coalesced across buffers: media reads = %d, want 1", got)
+	}
+}
+
+func TestBulkRounding(t *testing.T) {
+	m := New(Config{Serial: true})
+	m.MediaBulkWrite(5) // 5 lines -> ceil(5/4) = 2 XPLines
+	if got := m.Get(CtrMediaWriteXPLines); got != 2 {
+		t.Fatalf("bulk write XPLines = %d, want 2", got)
+	}
+	if got := m.Get(CtrMediaBulkWriteLines); got != 5 {
+		t.Fatalf("bulk write lines = %d, want 5", got)
+	}
+	m.MediaBulkRead(4)
+	if got := m.Get(CtrMediaReadXPLines); got != 1 {
+		t.Fatalf("bulk read XPLines = %d, want 1", got)
+	}
+}
+
+// TestTickSeries checks interval boundaries: one sample per elapsed
+// interval, stamped at the boundary, carrying cumulative counters.
+func TestTickSeries(t *testing.T) {
+	m := New(Config{SampleIntervalNS: 100, Serial: true})
+	m.Add(CtrCommits, 1)
+	m.Tick(50) // before the first boundary: no sample
+	if got := len(m.Samples()); got != 0 {
+		t.Fatalf("early tick sampled: %d samples", got)
+	}
+	m.Add(CtrCommits, 1)
+	m.Tick(100) // exactly on the boundary: one sample
+	m.Add(CtrCommits, 3)
+	m.Tick(350) // crosses 200 and 300: two samples
+	s := m.Samples()
+	if len(s) != 3 {
+		t.Fatalf("samples = %d, want 3", len(s))
+	}
+	wantVT := []int64{100, 200, 300}
+	wantCommits := []int64{2, 5, 5}
+	for i := range s {
+		if s[i].VT != wantVT[i] {
+			t.Errorf("sample %d VT = %d, want %d", i, s[i].VT, wantVT[i])
+		}
+		if s[i].Commits != wantCommits[i] {
+			t.Errorf("sample %d commits = %d, want %d", i, s[i].Commits, wantCommits[i])
+		}
+	}
+	// Tick never fires with no series configured.
+	m2 := New(Config{Serial: true})
+	m2.Tick(1 << 40)
+	if got := len(m2.Samples()); got != 0 {
+		t.Fatalf("series disabled but sampled %d", got)
+	}
+}
+
+func TestWPQAcceptOccupancyGauge(t *testing.T) {
+	m := New(Config{SampleIntervalNS: 10, Serial: true})
+	m.WPQAccept(0, 7)
+	m.WPQAccept(25, 63)
+	m.Tick(10)
+	s := m.Samples()
+	if len(s) != 1 || s[0].WPQOccupancy != 63 {
+		t.Fatalf("samples = %+v, want one sample with occupancy 63", s)
+	}
+	if got := m.Get(CtrWPQAccepts); got != 2 {
+		t.Fatalf("accepts = %d, want 2", got)
+	}
+	if got := m.Get(CtrWPQStallEvents); got != 1 {
+		t.Fatalf("stall events = %d, want 1 (zero-stall accepts must not count)", got)
+	}
+	if got := m.Get(CtrWPQStallNS); got != 25 {
+		t.Fatalf("stall ns = %d, want 25", got)
+	}
+}
+
+// TestResetTxnCounters pins the reset range: transaction outcomes and
+// log volume reset, media/device counters stay cumulative.
+func TestResetTxnCounters(t *testing.T) {
+	m := New(Config{Serial: true})
+	for c := Counter(0); c < NumCounters; c++ {
+		m.Add(c, 7)
+	}
+	m.ResetTxnCounters()
+	for c := CtrCommits; c <= CtrLogBytes; c++ {
+		if got := m.Get(c); got != 0 {
+			t.Errorf("%v = %d after reset, want 0", c, got)
+		}
+	}
+	for c := CtrLogBytes + 1; c < NumCounters; c++ {
+		if got := m.Get(c); got != 7 {
+			t.Errorf("%v = %d after reset, want 7 (must stay cumulative)", c, got)
+		}
+	}
+}
+
+// TestConcurrentRegistry exercises the locked (non-serial) paths under
+// the race detector.
+func TestConcurrentRegistry(t *testing.T) {
+	m := New(Config{SampleIntervalNS: 64})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				line := uint64(w*1000 + i)
+				m.MediaWriteLine(line)
+				m.MediaReadLine(line)
+				m.WPQAccept(int64(i%3), i%64)
+				m.Tick(int64(i) * 10)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := m.Get(CtrWPQAccepts); got != 4000 {
+		t.Fatalf("accepts = %d, want 4000", got)
+	}
+	total := m.Get(CtrMediaWriteXPLines) + m.Get(CtrXPBufWriteHits)
+	if total != 4000 {
+		t.Fatalf("write probes = %d, want 4000", total)
+	}
+}
+
+func TestFillRegistryAmplification(t *testing.T) {
+	m := New(Config{Serial: true})
+	// 64 stores (512 B requested) that land in 8 distinct XPLines
+	// (2048 B media): write amp 4.0.
+	for i := 0; i < 64; i++ {
+		m.MediaWriteLine(uint64(i) * LinesPerXP / 2) // 2 lines per XPLine
+	}
+	var s Snapshot
+	s.NVMStores = 64
+	s.NVMLoads = 0
+	s.FillRegistry(m)
+	wantXP := m.Get(CtrMediaWriteXPLines)
+	wantAmp := float64(wantXP*XPLineBytes) / float64(64*WordBytes)
+	if s.WriteAmp != wantAmp {
+		t.Fatalf("write amp = %v, want %v", s.WriteAmp, wantAmp)
+	}
+	if s.ReadAmp != 0 {
+		t.Fatalf("read amp = %v with no loads, want 0", s.ReadAmp)
+	}
+}

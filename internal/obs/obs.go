@@ -73,6 +73,9 @@ const (
 	TrackPageResidency               // resident Memory-Mode page-cache frames
 	TrackPageDirty                   // dirty page-cache frames
 	TrackSweepCells                  // experiment-sweep cells completed (runner progress)
+	TrackMediaWriteXP                // cumulative 256 B XPLine media writes (metrics sampler)
+	TrackMediaReadXP                 // cumulative 256 B XPLine media reads (metrics sampler)
+	TrackCommits                     // cumulative committed transactions (metrics sampler)
 	NumTracks
 )
 
@@ -80,6 +83,7 @@ var trackNames = [NumTracks]string{
 	"wpq_occupancy", "media_write_busy_ms", "media_read_busy_ms",
 	"cache_hit_pct", "pagecache_resident", "pagecache_dirty",
 	"sweep_cells_done",
+	"media_write_xplines", "media_read_xplines", "commits_total",
 }
 
 // String names the counter track as the trace exporter does.

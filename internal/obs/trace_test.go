@@ -32,6 +32,12 @@ func goldenRecorder() *Recorder {
 	w1.Span(PhaseMediaWait, 1600, 1905)
 
 	r.CountShared(TrackWPQOccupancy, 1350, 12)
+	// The metrics sampler's tracks, as ExportTracks replays them: one
+	// cumulative sample per series point.
+	r.CountShared(TrackMediaWriteXP, 1000, 40)
+	r.CountShared(TrackMediaWriteXP, 2000, 95)
+	r.CountShared(TrackMediaReadXP, 1000, 12)
+	r.CountShared(TrackCommits, 2000, 31)
 	return r
 }
 
@@ -111,5 +117,10 @@ func TestWriteTraceShape(t *testing.T) {
 	}
 	if len(counters) < 2 {
 		t.Fatalf("want >=2 counter tracks, got %v", counters)
+	}
+	for _, track := range []Track{TrackMediaWriteXP, TrackMediaReadXP, TrackCommits} {
+		if !counters[track.String()] {
+			t.Fatalf("metrics sampler track %q missing from export: %v", track, counters)
+		}
 	}
 }

@@ -30,10 +30,11 @@ const DefaultSize = 1 << 20
 // orec loads and the clock are touched on every transactional read,
 // so the LOCK-prefixed CAS and fenced loads are measurable there.
 type Table struct {
-	orecs  []uint64
-	mask   uint64
-	serial bool
-	clock  uint64
+	orecs       []uint64
+	mask        uint64
+	serial      bool
+	clock       uint64
+	casFailures int64 // TryLock attempts lost to a concurrent owner/version
 }
 
 // New creates a concurrency-safe table with size orecs. size must be a
@@ -86,16 +87,31 @@ func Locked(owner uint64) uint64 { return owner<<1 | 1 }
 func Versioned(version uint64) uint64 { return version << 1 }
 
 // TryLock atomically locks slot i for owner if its current value is
-// the unlocked word for expectVersion. It returns true on success.
+// the unlocked word for expectVersion. It returns true on success;
+// failures (the CAS losing to a concurrent owner or a version change)
+// are counted, the contention signal the metrics report surfaces.
 func (t *Table) TryLock(i int, owner, expectVersion uint64) bool {
 	if t.serial {
 		if t.orecs[i] != Versioned(expectVersion) {
+			t.casFailures++
 			return false
 		}
 		t.orecs[i] = Locked(owner)
 		return true
 	}
-	return atomic.CompareAndSwapUint64(&t.orecs[i], Versioned(expectVersion), Locked(owner))
+	if atomic.CompareAndSwapUint64(&t.orecs[i], Versioned(expectVersion), Locked(owner)) {
+		return true
+	}
+	atomic.AddInt64(&t.casFailures, 1)
+	return false
+}
+
+// CASFailures reports the cumulative TryLock failure count.
+func (t *Table) CASFailures() int64 {
+	if t.serial {
+		return t.casFailures
+	}
+	return atomic.LoadInt64(&t.casFailures)
 }
 
 // Release unlocks slot i, publishing newVersion. The caller must hold
@@ -137,4 +153,5 @@ func (t *Table) Reset() {
 		t.orecs[i] = 0
 	}
 	t.clock = 0
+	t.casFailures = 0
 }

@@ -200,3 +200,22 @@ func TestReset(t *testing.T) {
 		t.Fatal("reset incomplete")
 	}
 }
+
+func TestCASFailures(t *testing.T) {
+	tb := New(1 << 8)
+	i := tb.Index(0)
+	if tb.CASFailures() != 0 {
+		t.Fatal("fresh table has CAS failures")
+	}
+	tb.TryLock(i, 1, 0) // success: no failure
+	tb.TryLock(i, 2, 0) // lost to owner 1
+	tb.TryLock(i, 3, 0) // lost again
+	if got := tb.CASFailures(); got != 2 {
+		t.Fatalf("CAS failures = %d, want 2", got)
+	}
+	tb.Release(i, 7)
+	tb.TryLock(i, 2, 0) // stale version: also a failure
+	if got := tb.CASFailures(); got != 3 {
+		t.Fatalf("CAS failures after stale-version attempt = %d, want 3", got)
+	}
+}

@@ -60,6 +60,7 @@ type Config struct {
 type Stats struct {
 	Hits        int64
 	Misses      int64
+	Evictions   int64 // frames reclaimed (demand fills and prefetch claims)
 	Writebacks  int64 // synchronous, on eviction of a dirty victim
 	Prefetches  int64
 	PrefetchHit int64 // hits on pages brought in by the prefetcher
@@ -151,6 +152,7 @@ func (c *Cache) insertLocked(now int64, page uint64, write bool) int64 {
 		victim := c.lru.Back().Value.(*frame)
 		c.lru.Remove(victim.elem)
 		delete(c.dir, victim.page)
+		c.stats.Evictions++
 		if victim.dirty {
 			c.stats.Writebacks++
 			// The fetch cannot begin until the victim's writeback has
@@ -179,6 +181,7 @@ func (c *Cache) prefetchLocked(now int64, page uint64) {
 		}
 		c.lru.Remove(victim.elem)
 		delete(c.dir, victim.page)
+		c.stats.Evictions++
 	}
 	done := c.ctl.ReadNVMBulk(now, LinesPerPage)
 	f := &frame{page: page, prefetched: true, readyVT: done}

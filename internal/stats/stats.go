@@ -101,6 +101,19 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max
 }
 
+// P50 reports the median. Like all bucket-derived quantiles it is the
+// top of the log2 bucket holding the rank, so the reported value is
+// exact to within the bucket width: at most 2x the true quantile and
+// never below it (~±50% relative error bound), clamped to the true
+// maximum.
+func (h *Histogram) P50() int64 { return h.Percentile(50) }
+
+// P90 reports the 90th percentile (see P50 for the error bound).
+func (h *Histogram) P90() int64 { return h.Percentile(90) }
+
+// P99 reports the 99th percentile (see P50 for the error bound).
+func (h *Histogram) P99() int64 { return h.Percentile(99) }
+
 // Bucket is one non-empty histogram bucket in the JSON encoding:
 // Count samples in [LoNS, 2*LoNS) virtual ns.
 type Bucket struct {

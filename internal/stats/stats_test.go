@@ -249,3 +249,47 @@ func TestHistogramJSONRoundTripEmpty(t *testing.T) {
 		t.Fatalf("empty round trip changed state")
 	}
 }
+
+func TestQuantileAccessorsEmpty(t *testing.T) {
+	var h Histogram
+	if h.P50() != 0 || h.P90() != 0 || h.P99() != 0 {
+		t.Fatalf("empty histogram quantiles = %d/%d/%d, want 0",
+			h.P50(), h.P90(), h.P99())
+	}
+}
+
+func TestQuantileAccessorsSingleBucket(t *testing.T) {
+	// All samples in one bucket: every quantile is that bucket's top,
+	// clamped to the true max.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(70) // bucket [64, 128)
+	}
+	for _, q := range []int64{h.P50(), h.P90(), h.P99()} {
+		if q != 70 {
+			t.Fatalf("single-bucket quantile = %d, want 70 (clamped to max)", q)
+		}
+	}
+	h.Record(100) // same bucket, raises max
+	if h.P99() != 100 {
+		t.Fatalf("P99 = %d, want 100", h.P99())
+	}
+}
+
+func TestQuantileAccessorsOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(int64(i))
+	}
+	p50, p90, p99 := h.P50(), h.P90(), h.P99()
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not ordered: %d/%d/%d", p50, p90, p99)
+	}
+	// Documented bound: at most 2x the true quantile, never below it.
+	if p50 < 500 || p50 > 1000 {
+		t.Fatalf("P50 = %d outside [500, 1000]", p50)
+	}
+	if p99 < 990 || p99 > 1000 {
+		t.Fatalf("P99 = %d outside [990, 1000] (clamped to max)", p99)
+	}
+}

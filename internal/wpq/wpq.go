@@ -22,8 +22,32 @@ package wpq
 import (
 	"sync"
 
+	"goptm/internal/metrics"
 	"goptm/internal/simtime"
 )
+
+// Cause says why a line flush reached the WPQ; accepts and stalls are
+// attributed per cause so a report can distinguish protocol-issued
+// flush pressure (clwb) from cache-induced pressure (evictions).
+type Cause int
+
+// The flush causes.
+const (
+	CauseCLWB     Cause = iota // explicit clwb issued by the runtime
+	CauseEviction              // dirty L3 line evicted by the cache
+	CauseWCDrain               // write-combining buffer drain
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{"clwb", "eviction", "wc-drain"}
+
+// String names the cause.
+func (c Cause) String() string {
+	if c >= 0 && int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "cause?"
+}
 
 // Config parameterizes the controller. Holds are per 64 B line in
 // virtual nanoseconds; latencies for loads are charged by membus on
@@ -87,10 +111,22 @@ type Controller struct {
 	accepts   int64
 	stallTime int64 // cumulative accept delay due to a full WPQ
 
+	stallEvents    int64
+	acceptsByCause [NumCauses]int64
+	stallByCause   [NumCauses]int64
+	combinedHits   int64 // accepts that took the write-combining discount
+	maxOccupancy   int   // requires an observer or registry (see Counters)
+	bulkReadLines  int64
+	bulkWriteLines int64
+
 	// observer, when non-nil, sees every accept: the accept time, the
 	// queue-full delay it suffered, and the post-accept occupancy.
 	// Observability hook; the measurement path leaves it nil.
 	observer func(acceptVT, stallNS int64, occupancy int)
+
+	// met, when non-nil, receives the media-model feed (per-line write
+	// traffic for the XPBuffer model) and the WPQ series gauge.
+	met *metrics.Registry
 }
 
 // New builds a controller. Threads in cfg must cover every tid passed
@@ -139,6 +175,18 @@ func (c *Controller) SetObserver(fn func(acceptVT, stallNS int64, occupancy int)
 	c.observer = fn
 }
 
+// SetMetrics attaches a counter registry (nil to detach). With a
+// registry attached the controller feeds every NVM line write into the
+// registry's media model and reports WPQ pressure per accept, and
+// tracks the queue's maximum occupancy. Install before traffic starts.
+func (c *Controller) SetMetrics(m *metrics.Registry) {
+	if !c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.met = m
+}
+
 // Reset clears the queue state after a simulated power failure: the
 // ring of in-flight drain times and the per-thread write streams are
 // hardware state that does not survive reboot. Port busy-time servers
@@ -159,12 +207,12 @@ func (c *Controller) Reset() {
 }
 
 // EnqueueNVM accepts a line flush into the WPQ at virtual time now on
-// behalf of thread tid. It returns the accept time (when the flush has
-// entered the ADR domain — what a clwb+sfence waits for) and the drain
-// time (when the media write completes — what full durability under
-// NoReserve waits for). If the WPQ is full, accept is delayed until
-// the oldest in-flight drain completes.
-func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain int64) {
+// behalf of thread tid, attributed to cause. It returns the accept
+// time (when the flush has entered the ADR domain — what a clwb+sfence
+// waits for) and the drain time (when the media write completes — what
+// full durability under NoReserve waits for). If the WPQ is full,
+// accept is delayed until the oldest in-flight drain completes.
+func (c *Controller) EnqueueNVM(now int64, tid int, line uint64, cause Cause) (accept, drain int64) {
 	if !c.serial {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -175,6 +223,8 @@ func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain 
 	if oldest := c.ring[c.ringPos]; oldest > accept {
 		stall = oldest - accept
 		c.stallTime += stall
+		c.stallEvents++
+		c.stallByCause[cause] += stall
 		accept = oldest
 	}
 	hold := c.cfg.NVMWriteHold
@@ -183,6 +233,7 @@ func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain 
 		// XPBuffer, and a re-flush of the line just written merges
 		// with it (commit markers and log tails hit this constantly).
 		hold /= c.cfg.StreamDiscount
+		c.combinedHits++
 	}
 	if tid < len(c.lastLine) {
 		c.lastLine[tid] = line
@@ -191,21 +242,37 @@ func (c *Controller) EnqueueNVM(now int64, tid int, line uint64) (accept, drain 
 	c.ring[c.ringPos] = drain
 	c.ringPos = (c.ringPos + 1) % len(c.ring)
 	c.accepts++
-	if c.observer != nil {
+	c.acceptsByCause[cause]++
+	if c.observer != nil || c.met != nil {
+		// The occupancy scan is O(Depth); it runs only with an observer
+		// or registry attached, so the default measurement path keeps
+		// its cost and maxOccupancy stays 0 without one (see Counters).
 		occ := 0
 		for _, d := range c.ring {
 			if d > accept {
 				occ++
 			}
 		}
-		c.observer(accept, stall, occ)
+		if occ > c.maxOccupancy {
+			c.maxOccupancy = occ
+		}
+		if c.observer != nil {
+			c.observer(accept, stall, occ)
+		}
+		if c.met != nil {
+			c.met.MediaWriteLine(line)
+			c.met.WPQAccept(stall, occ)
+		}
 	}
 	return accept, drain
 }
 
-// ReadNVM charges an NVM media read beginning at now and returns its
-// completion time.
-func (c *Controller) ReadNVM(now int64) int64 {
+// ReadNVM charges an NVM media read of the given line beginning at now
+// and returns its completion time.
+func (c *Controller) ReadNVM(now int64, line uint64) int64 {
+	if c.met != nil {
+		c.met.MediaReadLine(line)
+	}
 	return c.nvmRead.Acquire(now, c.cfg.NVMReadHold)
 }
 
@@ -223,6 +290,16 @@ func (c *Controller) ReadDRAM(now int64) int64 {
 // by the Memory-Mode directory). Sequential transfers run at combined
 // speed: one port held for lines*hold/StreamDiscount.
 func (c *Controller) ReadNVMBulk(now int64, lines int) int64 {
+	if !c.serial {
+		c.mu.Lock()
+	}
+	c.bulkReadLines += int64(lines)
+	if !c.serial {
+		c.mu.Unlock()
+	}
+	if c.met != nil {
+		c.met.MediaBulkRead(lines)
+	}
 	hold := int64(lines) * c.cfg.NVMReadHold / c.cfg.StreamDiscount
 	return c.nvmRead.Acquire(now, hold)
 }
@@ -231,6 +308,16 @@ func (c *Controller) ReadNVMBulk(now int64, lines int) int64 {
 // writeback). Bypasses the WPQ: page writebacks are issued by the
 // memory controller itself, not by CPU flushes.
 func (c *Controller) WriteNVMBulk(now int64, lines int) int64 {
+	if !c.serial {
+		c.mu.Lock()
+	}
+	c.bulkWriteLines += int64(lines)
+	if !c.serial {
+		c.mu.Unlock()
+	}
+	if c.met != nil {
+		c.met.MediaBulkWrite(lines)
+	}
 	hold := int64(lines) * c.cfg.NVMWriteHold / c.cfg.StreamDiscount
 	return c.nvmWrite.Acquire(now, hold)
 }
@@ -252,14 +339,51 @@ func (c *Controller) OccupancyAt(vt int64) int {
 	return n
 }
 
-// Stats reports the number of WPQ accepts and the cumulative stall
-// time caused by a full queue.
-func (c *Controller) Stats() (accepts, stallTime int64) {
+// Counters is the controller's cumulative accounting: accepts and
+// queue-full stalls (total and attributed per flush cause),
+// write-combining hits, bulk transfer volume, and the maximum
+// post-accept occupancy observed. MaxOccupancy requires an observer or
+// metrics registry attached before traffic (the per-accept occupancy
+// scan is elided otherwise) and reads 0 without one.
+type Counters struct {
+	Accepts        int64
+	StallNS        int64
+	StallEvents    int64
+	MaxOccupancy   int
+	CombinedHits   int64
+	AcceptsByCause [NumCauses]int64
+	StallNSByCause [NumCauses]int64
+	BulkReadLines  int64
+	BulkWriteLines int64
+}
+
+// Counters reports the controller's cumulative counters.
+func (c *Controller) Counters() Counters {
 	if !c.serial {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 	}
-	return c.accepts, c.stallTime
+	return Counters{
+		Accepts:        c.accepts,
+		StallNS:        c.stallTime,
+		StallEvents:    c.stallEvents,
+		MaxOccupancy:   c.maxOccupancy,
+		CombinedHits:   c.combinedHits,
+		AcceptsByCause: c.acceptsByCause,
+		StallNSByCause: c.stallByCause,
+		BulkReadLines:  c.bulkReadLines,
+		BulkWriteLines: c.bulkWriteLines,
+	}
+}
+
+// Stats reports the number of WPQ accepts and the cumulative stall
+// time caused by a full queue.
+//
+// Deprecated: use Counters, which also carries the per-cause stall
+// breakdown and maximum occupancy.
+func (c *Controller) Stats() (accepts, stallTime int64) {
+	k := c.Counters()
+	return k.Accepts, k.StallNS
 }
 
 // Utilization reports total busy time of the NVM write ports, an

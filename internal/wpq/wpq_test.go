@@ -23,7 +23,7 @@ func small() Config {
 
 func TestEnqueueImmediateAcceptWhenEmpty(t *testing.T) {
 	c := New(small())
-	accept, drain := c.EnqueueNVM(10, 0, 5)
+	accept, drain := c.EnqueueNVM(10, 0, 5, CauseCLWB)
 	if accept != 10 {
 		t.Fatalf("accept = %d, want 10 (empty WPQ accepts immediately)", accept)
 	}
@@ -40,7 +40,7 @@ func TestWPQBackpressure(t *testing.T) {
 	lines := []uint64{10, 20, 30, 40, 50}
 	var accepts []int64
 	for _, ln := range lines {
-		a, _ := c.EnqueueNVM(0, 0, ln)
+		a, _ := c.EnqueueNVM(0, 0, ln, CauseCLWB)
 		accepts = append(accepts, a)
 	}
 	for i := 0; i < 4; i++ {
@@ -59,18 +59,18 @@ func TestWPQBackpressure(t *testing.T) {
 
 func TestWriteCombiningDiscount(t *testing.T) {
 	c := New(small())
-	_, d0 := c.EnqueueNVM(0, 0, 100)
+	_, d0 := c.EnqueueNVM(0, 0, 100, CauseCLWB)
 	if d0 != 100 {
 		t.Fatalf("first drain = %d", d0)
 	}
 	// Sequential next line from the same thread: discounted hold 25,
 	// scheduled on the second free port.
-	_, d1 := c.EnqueueNVM(0, 0, 101)
+	_, d1 := c.EnqueueNVM(0, 0, 101, CauseCLWB)
 	if d1 != 25 {
 		t.Fatalf("stream drain = %d, want 25 (discounted)", d1)
 	}
 	// Non-sequential from the same thread: full hold.
-	_, d2 := c.EnqueueNVM(0, 0, 500)
+	_, d2 := c.EnqueueNVM(0, 0, 500, CauseCLWB)
 	if d2 != 125 { // port freed at 25, +100
 		t.Fatalf("random drain = %d, want 125", d2)
 	}
@@ -78,9 +78,9 @@ func TestWriteCombiningDiscount(t *testing.T) {
 
 func TestStreamTrackingPerThread(t *testing.T) {
 	c := New(small())
-	c.EnqueueNVM(0, 0, 100)
+	c.EnqueueNVM(0, 0, 100, CauseCLWB)
 	// Thread 1 writing line 101 is NOT a continuation of thread 0's stream.
-	_, d := c.EnqueueNVM(0, 1, 101)
+	_, d := c.EnqueueNVM(0, 1, 101, CauseCLWB)
 	if d != 100 {
 		t.Fatalf("cross-thread write got stream discount: drain = %d", d)
 	}
@@ -92,7 +92,7 @@ func TestWritePortSaturation(t *testing.T) {
 	c := New(small())
 	var last int64
 	for i := 0; i < 10; i++ {
-		_, d := c.EnqueueNVM(0, 0, uint64(i*7+3)) // non-sequential
+		_, d := c.EnqueueNVM(0, 0, uint64(i*7+3), CauseCLWB) // non-sequential
 		if d > last {
 			last = d
 		}
@@ -106,11 +106,11 @@ func TestReadPortsScaleFurther(t *testing.T) {
 	c := New(small())
 	// 4 read ports, hold 200: 4 concurrent reads all complete at 200.
 	for i := 0; i < 4; i++ {
-		if done := c.ReadNVM(0); done != 200 {
+		if done := c.ReadNVM(0, uint64(i)); done != 200 {
 			t.Fatalf("read %d done = %d, want 200", i, done)
 		}
 	}
-	if done := c.ReadNVM(0); done != 400 {
+	if done := c.ReadNVM(0, 99); done != 400 {
 		t.Fatalf("5th read done = %d, want 400 (queued)", done)
 	}
 }
@@ -127,8 +127,8 @@ func TestDRAMChannels(t *testing.T) {
 
 func TestStatsAndUtilization(t *testing.T) {
 	c := New(small())
-	c.EnqueueNVM(0, 0, 1)
-	c.EnqueueNVM(0, 0, 9) // non-sequential
+	c.EnqueueNVM(0, 0, 1, CauseCLWB)
+	c.EnqueueNVM(0, 0, 9, CauseCLWB) // non-sequential
 	accepts, _ := c.Stats()
 	if accepts != 2 {
 		t.Fatalf("accepts = %d, want 2", accepts)
@@ -170,7 +170,7 @@ func TestConcurrentEnqueueSafety(t *testing.T) {
 		go func(tid int) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
-				a, d := c.EnqueueNVM(int64(i), tid, uint64(tid*100000+i))
+				a, d := c.EnqueueNVM(int64(i), tid, uint64(tid*100000+i), CauseCLWB)
 				if d < a {
 					t.Errorf("drain %d before accept %d", d, a)
 					return
@@ -191,7 +191,7 @@ func TestAcceptMonotoneUnderLoad(t *testing.T) {
 	c := New(small())
 	prev := int64(-1)
 	for i := 0; i < 64; i++ {
-		a, _ := c.EnqueueNVM(0, 0, uint64(i*3+1))
+		a, _ := c.EnqueueNVM(0, 0, uint64(i*3+1), CauseCLWB)
 		if a < prev {
 			t.Fatalf("accept went backwards: %d after %d", a, prev)
 		}
@@ -204,9 +204,9 @@ func TestAcceptMonotoneUnderLoad(t *testing.T) {
 
 func TestOccupancyAt(t *testing.T) {
 	c := New(small()) // 2 ports, hold 100
-	c.EnqueueNVM(0, 0, 10)
-	c.EnqueueNVM(0, 0, 20) // both drain at t=100
-	c.EnqueueNVM(0, 0, 30) // drains at t=200
+	c.EnqueueNVM(0, 0, 10, CauseCLWB)
+	c.EnqueueNVM(0, 0, 20, CauseCLWB) // both drain at t=100
+	c.EnqueueNVM(0, 0, 30, CauseCLWB) // drains at t=200
 	if got := c.OccupancyAt(0); got != 3 {
 		t.Fatalf("occupancy(0) = %d, want 3", got)
 	}
@@ -230,7 +230,7 @@ func TestBulkTransfers(t *testing.T) {
 	c2 := New(small())
 	c2.WriteNVMBulk(0, 64) // port 0 busy until 1600
 	c2.WriteNVMBulk(0, 64) // port 1 busy until 1600
-	_, d := c2.EnqueueNVM(0, 0, 99)
+	_, d := c2.EnqueueNVM(0, 0, 99, CauseCLWB)
 	if d != 1700 {
 		t.Fatalf("line drain behind bulk writes = %d, want 1700", d)
 	}
