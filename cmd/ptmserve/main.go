@@ -1,0 +1,160 @@
+// Command ptmserve runs the persistent KV service over the simulated
+// PTM machine — the paper's memcached-style capstone (§V) as a real
+// network server.
+//
+// Server mode (default):
+//
+//	ptmserve -listen :11211 -image /var/tmp/kv.img
+//	    Serve a memcached text-protocol subset (get/set/delete/incr/
+//	    stats/quit) over TCP. If -image exists it is reopened: the
+//	    saved NVM media image is restored and crash recovery (redo
+//	    replay or undo rollback plus allocator GC) runs before the
+//	    first connection is accepted. On SIGTERM/SIGINT the server
+//	    drains in-flight requests, simulates a power failure (the
+//	    durability domain's policy resolves caches and the WPQ into
+//	    the final image), saves -image, and exits — so a kill/restart
+//	    cycle exercises the same recovery path a power loss would.
+//
+// Load-simulator mode:
+//
+//	ptmserve -loadsim -rate 4000000 -requests 20000 -batches 1,4,16
+//	    No sockets: a deterministic open-loop arrival process drives
+//	    the same sharded batching executor in virtual time under the
+//	    lockstep scheduler, printing a p50/p90/p99 latency table per
+//	    batch size. Identical flags produce byte-identical output on
+//	    any machine — CI pins the bytes.
+//
+// Shared knobs: -algo redo|undo|htm, -domain ADR|eADR|..., -shards,
+// -maxbatch, -window (batch window ns), -deadline (shed deadline ns),
+// -queue (per-shard depth). See docs/SERVING.md for the protocol
+// subset and the batching design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/server"
+	"goptm/internal/server/loadsim"
+)
+
+func main() {
+	listen := flag.String("listen", ":11211", "TCP listen address (server mode)")
+	image := flag.String("image", "", "NVM media image file: reopened on start if present, saved on shutdown")
+	algoName := flag.String("algo", "redo", "PTM algorithm: redo, undo, or htm")
+	domainName := flag.String("domain", "ADR", "durability domain (ADR, eADR, PDRAM, PDRAM-Lite)")
+	shards := flag.Int("shards", 4, "executor shards (keyspace partitions)")
+	maxBatch := flag.Int("maxbatch", 8, "max ops coalesced into one transaction; 1 disables batching")
+	windowNS := flag.Int64("window", 2000, "group-commit batch window, virtual ns; -1 disables")
+	deadlineNS := flag.Int64("deadline", 1_000_000, "shed requests older than this, virtual ns; -1 disables")
+	queueDepth := flag.Int("queue", 256, "per-shard request queue depth")
+	heapWords := flag.Uint64("heap", 0, "persistent heap words (0 = default 1<<21); smaller heaps make smaller images")
+
+	loadsimMode := flag.Bool("loadsim", false, "run the deterministic open-loop load simulator instead of serving TCP")
+	rate := flag.Float64("rate", 2e6, "loadsim: arrivals per virtual second")
+	requests := flag.Int("requests", 20000, "loadsim: arrivals to generate")
+	keys := flag.Int("keys", 4096, "loadsim: prepopulated keyspace size")
+	valueBytes := flag.Int("value", 64, "loadsim: value size in bytes")
+	setPct := flag.Int("sets", 50, "loadsim: percentage of sets in the mix")
+	seed := flag.Uint64("seed", 1, "loadsim: arrival-process seed")
+	batches := flag.String("batches", "1,8", "loadsim: comma-separated batch sizes to sweep")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ptmserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	var algo core.Algo
+	switch *algoName {
+	case "redo":
+		algo = core.OrecLazy
+	case "undo":
+		algo = core.OrecEager
+	case "htm":
+		algo = core.AlgoHTM
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	domain, err := durability.Parse(*domainName)
+	if err != nil {
+		fail(err)
+	}
+
+	if *loadsimMode {
+		var sizes []int
+		for _, f := range strings.Split(*batches, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fail(fmt.Errorf("bad -batches entry %q", f))
+			}
+			sizes = append(sizes, n)
+		}
+		results, err := loadsim.Curve(loadsim.Config{
+			Algo: algo, Domain: domain, Shards: *shards,
+			Keys: *keys, ValueBytes: *valueBytes, SetPercent: *setPct,
+			Rate: *rate, Requests: *requests, Seed: *seed,
+			BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS, QueueDepth: *queueDepth,
+		}, sizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(loadsim.Report(results))
+		return
+	}
+
+	st, err := server.OpenOrRecover(*image, server.StoreConfig{
+		Algo: algo, Domain: domain, Shards: *shards, MaxBatch: *maxBatch, Heap: *heapWords,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if st.Recovered {
+		rep := st.Recovery
+		fmt.Printf("ptmserve: recovered image %s: %d redo replayed, %d undo rolled back, %d blocks swept (%d virtual ns)\n",
+			*image, rep.RedoReplayed, rep.UndoRolledBack, rep.BlocksSwept, rep.DurationNS)
+	}
+
+	exec := server.NewExecutor(st, server.ExecConfig{
+		Shards: *shards, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
+		BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS,
+		IdleSleep: 50 * time.Microsecond,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	srv := server.Serve(st, exec, ln)
+	fmt.Printf("ptmserve: serving on %s (%s/%s, %d shards, batch<=%d)\n",
+		ln.Addr(), *algoName, domain, *shards, *maxBatch)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	<-sigCh
+	fmt.Println("ptmserve: draining...")
+	srv.Shutdown()
+	if *image != "" {
+		// Power-failure semantics on purpose: the domain policy decides
+		// what survives, and the next start runs true crash recovery.
+		var vt int64
+		for i := 0; i < *shards; i++ {
+			if t := exec.ShardVT(i); t > vt {
+				vt = t
+			}
+		}
+		st.Crash(vt)
+		if err := st.SaveImage(*image); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ptmserve: image saved to %s\n", *image)
+	}
+}

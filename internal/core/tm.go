@@ -70,13 +70,14 @@ func mediumBase(m Medium) memdev.Addr {
 	return 0
 }
 
-// New builds the simulated machine, formats the TM's persistent
-// metadata and heap, and returns the runtime.
-func New(cfg Config) (*TM, error) {
+// BusConfig returns the memory-system configuration New would build
+// for cfg: the device geometry derived from the thread count, log
+// capacity, and heap size, plus the pass-through timing knobs. It is
+// exported so a machine can be reconstructed around a restored media
+// image (membus.New + memdev image restore + Reopen) — the path a
+// persistent service takes across process restarts.
+func BusConfig(cfg Config) membus.Config {
 	cfg = cfg.withDefaults()
-	if cfg.Algo == AlgoHTM && cfg.Domain.RequiresFlush() {
-		return nil, fmt.Errorf("core: HTM is incompatible with %v: a clwb inside a hardware transaction aborts it (use eADR or a PDRAM domain)", cfg.Domain)
-	}
 	meta := metaWords(cfg.Threads, cfg.MaxLogEntries)
 	persist := meta + cfg.HeapWords
 
@@ -92,8 +93,7 @@ func New(cfg Config) (*TM, error) {
 		// NVM region remains so the device is well formed.
 		devCfg = memdev.Config{NVMWords: 64, DRAMWords: alignLine(persist + scratch)}
 	}
-
-	bus, err := membus.New(membus.Config{
+	return membus.Config{
 		Threads:    cfg.Threads,
 		Domain:     cfg.Domain,
 		Dev:        devCfg,
@@ -104,7 +104,38 @@ func New(cfg Config) (*TM, error) {
 		Lockstep:   cfg.Lockstep,
 		Recorder:   cfg.Recorder,
 		Metrics:    cfg.Metrics,
-	})
+	}
+}
+
+// NewBus builds the simulated memory system New would attach to for
+// cfg, including the PDRAM-Lite log-page routing that must be
+// registered before any traffic. Pair it with Attach or Reopen to
+// bring a TM up on a media image restored from elsewhere.
+func NewBus(cfg Config) (*membus.Bus, error) {
+	cfg = cfg.withDefaults()
+	bus, err := membus.New(BusConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	// Under PDRAM-Lite the per-thread log areas live in persistent
+	// DRAM pages (the paper's design point: only redo logs are
+	// cached). Register the routing before any traffic.
+	if cfg.Domain == durability.PDRAMLite && cfg.Medium == MediumNVM {
+		bus.RoutePages(mediumBase(cfg.Medium)+offDescs, uint64(cfg.Threads)*descStride(cfg.MaxLogEntries))
+	}
+	return bus, nil
+}
+
+// New builds the simulated machine, formats the TM's persistent
+// metadata and heap, and returns the runtime.
+func New(cfg Config) (*TM, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Algo == AlgoHTM && cfg.Domain.RequiresFlush() {
+		return nil, fmt.Errorf("core: HTM is incompatible with %v: a clwb inside a hardware transaction aborts it (use eADR or a PDRAM domain)", cfg.Domain)
+	}
+	meta := metaWords(cfg.Threads, cfg.MaxLogEntries)
+
+	bus, err := NewBus(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -117,13 +148,6 @@ func New(cfg Config) (*TM, error) {
 		stride: descStride(cfg.MaxLogEntries),
 		rec:    cfg.Recorder,
 		met:    ensureRegistry(cfg),
-	}
-
-	// Under PDRAM-Lite the per-thread log areas live in persistent
-	// DRAM pages (the paper's design point: only redo logs are
-	// cached). Register the routing before any traffic.
-	if cfg.Domain == durability.PDRAMLite && cfg.Medium == MediumNVM {
-		bus.RoutePages(tm.base+offDescs, uint64(cfg.Threads)*tm.stride)
 	}
 
 	// Format persistent metadata with a temporary setup context.

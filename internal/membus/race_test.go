@@ -49,7 +49,7 @@ func TestConcurrentBusRace(t *testing.T) {
 				if i%32 == 0 {
 					// The stats surfaces the harness and recorder poll
 					// while workers run.
-					bus.Device().Stats()
+					bus.Device().Counters()
 					bus.Device().PendingLines()
 					bus.Cache().HitRate()
 					bus.Controller().Stats()

@@ -365,14 +365,6 @@ func (d *Device) Counters() Counters {
 	}
 }
 
-// Stats reports cumulative NVM stores and WPQ accepts.
-//
-// Deprecated: use Counters, which also carries NVM loads.
-func (d *Device) Stats() (stores, flushes int64) {
-	c := d.Counters()
-	return c.NVMStores, c.Flushes
-}
-
 // Crash applies a power failure at virtual time vt under the given
 // durability domain, producing the post-failure media image:
 //

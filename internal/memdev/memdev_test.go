@@ -232,9 +232,9 @@ func TestStatsCount(t *testing.T) {
 	d.Store(8, 1)
 	d.Store(DRAMBase, 1) // not counted
 	d.WPQAccept(0, 0)
-	stores, flushes := d.Stats()
-	if stores != 2 || flushes != 1 {
-		t.Fatalf("stats = (%d, %d), want (2, 1)", stores, flushes)
+	k := d.Counters()
+	if k.NVMStores != 2 || k.Flushes != 1 {
+		t.Fatalf("counters = %+v, want 2 stores, 1 flush", k)
 	}
 }
 
@@ -353,10 +353,5 @@ func TestCounters(t *testing.T) {
 	k := d.Counters()
 	if k.NVMStores != 2 || k.NVMLoads != 3 || k.Flushes != 1 {
 		t.Fatalf("counters = %+v, want stores 2, loads 3, flushes 1", k)
-	}
-	// The deprecated two-value form must agree.
-	stores, flushes := d.Stats()
-	if stores != k.NVMStores || flushes != k.Flushes {
-		t.Fatalf("Stats() = (%d, %d) disagrees with Counters() %+v", stores, flushes, k)
 	}
 }

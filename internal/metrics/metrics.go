@@ -72,6 +72,15 @@ const (
 	CtrWPQStallNS
 	CtrWPQStallEvents
 
+	// Serving layer (internal/server): requests completed, requests
+	// shed by backpressure or deadline, transactions used as coalesced
+	// commit batches, and the total operations those batches carried
+	// (batched ops / batches = the achieved coalescing factor).
+	CtrSrvRequests
+	CtrSrvShed
+	CtrSrvBatches
+	CtrSrvBatchedOps
+
 	NumCounters
 )
 
@@ -85,6 +94,7 @@ var counterNames = [NumCounters]string{
 	"xpbuf_write_hits", "xpbuf_read_hits",
 	"media_bulk_write_lines", "media_bulk_read_lines",
 	"wpq_accepts", "wpq_stall_ns", "wpq_stall_events",
+	"srv_requests", "srv_shed", "srv_batches", "srv_batched_ops",
 }
 
 // String names the counter.

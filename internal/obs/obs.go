@@ -76,6 +76,7 @@ const (
 	TrackMediaWriteXP                // cumulative 256 B XPLine media writes (metrics sampler)
 	TrackMediaReadXP                 // cumulative 256 B XPLine media reads (metrics sampler)
 	TrackCommits                     // cumulative committed transactions (metrics sampler)
+	TrackServerQueue                 // queued requests across server executor shards
 	NumTracks
 )
 
@@ -84,6 +85,7 @@ var trackNames = [NumTracks]string{
 	"cache_hit_pct", "pagecache_resident", "pagecache_dirty",
 	"sweep_cells_done",
 	"media_write_xplines", "media_read_xplines", "commits_total",
+	"server_queue_depth",
 }
 
 // String names the counter track as the trace exporter does.

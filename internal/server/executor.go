@@ -1,0 +1,389 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goptm/internal/core"
+	"goptm/internal/metrics"
+	"goptm/internal/obs"
+	"goptm/internal/stats"
+	"goptm/internal/workload/kvstore"
+)
+
+// The executor is where the paper's batching argument becomes service
+// design. Each durable commit pays a fixed tail — log flush, sfence,
+// commit-marker flush — that on Optane is dominated by WPQ drain
+// latency, so N separate set transactions pay that tail N times.
+// Coalescing adjacent writes into one transaction pays it once per
+// batch, trading a bounded queueing delay (the batch window) for a
+// large cut in per-op durable-commit cost. At high load the queue
+// keeps batches full and p99 latency drops; at low load the window
+// expires with a batch of one and latency is unchanged. Shards
+// partition the keyspace by key hash so batches never conflict and
+// commit in parallel.
+
+// Op identifies one KV operation.
+type Op uint8
+
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+	OpIncr
+)
+
+// Request is one queued KV command plus its completion state. The
+// submitter owns it until Submit succeeds; after completion (done
+// closed, or Submit returned false) the submitter owns it again.
+type Request struct {
+	Op    Op
+	Key   []byte
+	Value []byte // set payload
+	Flags uint32 // set: opaque memcached flags
+	Delta uint64 // incr amount
+
+	// EnqVT is the virtual-time enqueue stamp. Submit fills it from
+	// the target shard's clock when zero; loadsim pre-stamps it from
+	// the generator thread's clock.
+	EnqVT int64
+
+	// Done is closed when the request completes (execution, shed, or
+	// drain sweep). Submitters that need the result must set it; a nil
+	// Done makes the request fire-and-forget.
+	Done chan struct{}
+
+	// Results, valid once Done is closed.
+	Found    bool   // get/delete/incr: key existed
+	Val      []byte // get result
+	ValFlags uint32 // get result flags
+	NewVal   uint64 // incr result
+	Shed     bool   // dropped by deadline shedding, not executed
+	Err      error  // kv-layer error (bad key, non-numeric incr, drain)
+}
+
+// ErrDraining completes requests still queued when the executor shuts
+// down.
+var ErrDraining = errors.New("server: executor draining")
+
+// ExecConfig parameterizes the executor.
+type ExecConfig struct {
+	Shards     int // worker shards; thread i+1 of the machine drives shard i
+	QueueDepth int // per-shard bounded queue; 0 selects 256
+	// MaxBatch caps ops coalesced into one transaction; 0 selects the
+	// store's MaxBatch. 1 disables coalescing (the baseline).
+	MaxBatch int
+	// BatchWindowNS is how long a shard waits, in virtual ns, to fill
+	// a batch after its first request; 0 selects 2000 (2 µs).
+	// Negative disables the wait (batch = whatever is queued now).
+	BatchWindowNS int64
+	// DeadlineNS sheds requests older than this at execution time;
+	// 0 selects 1_000_000 (1 ms). Negative disables shedding.
+	DeadlineNS int64
+	PollNS     int64 // idle poll quantum in virtual ns; 0 selects 200
+	// IdleSleep, when positive, adds a host-time sleep to idle polls so
+	// the TCP server doesn't spin a core per shard. Must stay 0 under
+	// lockstep: a sleeping thread holds the scheduler floor.
+	IdleSleep time.Duration
+}
+
+func (c ExecConfig) withDefaults(st *Store) ExecConfig {
+	if c.Shards <= 0 {
+		c.Shards = st.cfg.Shards
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = st.cfg.MaxBatch
+	}
+	if c.MaxBatch > st.cfg.MaxBatch {
+		c.MaxBatch = st.cfg.MaxBatch // the log is sized for this bound
+	}
+	if c.BatchWindowNS == 0 {
+		c.BatchWindowNS = 2000
+	}
+	if c.DeadlineNS == 0 {
+		c.DeadlineNS = 1_000_000
+	}
+	if c.PollNS <= 0 {
+		c.PollNS = 200
+	}
+	return c
+}
+
+// shard is one keyspace partition: a bounded FIFO and the simulated
+// thread that drains it.
+type shard struct {
+	mu    sync.Mutex
+	queue []*Request
+	head  int
+
+	lastVT atomic.Int64 // the shard thread's clock, for Submit stamping
+
+	latency    stats.Histogram // enqueue→completion, virtual ns
+	batchSizes stats.Histogram
+	executed   int64
+	shed       int64
+}
+
+// Executor shards the store's keyspace and drains each shard's queue
+// on its own simulated thread, coalescing writes into batched
+// transactions.
+type Executor struct {
+	st  *Store
+	cfg ExecConfig
+	met *metrics.Registry
+	rec *obs.Recorder
+
+	shards []*shard
+	queued atomic.Int64 // across all shards, for the queue-depth track
+
+	inputsDone atomic.Bool
+	draining   atomic.Bool
+	wg         sync.WaitGroup
+}
+
+// NewExecutor starts the shard workers on st's threads 1..Shards.
+// Thread 0 stays free for the owner (setup, load generation, admin).
+func NewExecutor(st *Store, cfg ExecConfig) *Executor {
+	cfg = cfg.withDefaults(st)
+	e := &Executor{
+		st:     st,
+		cfg:    cfg,
+		met:    st.tm.Metrics(),
+		rec:    st.tm.Recorder(),
+		shards: make([]*shard, cfg.Shards),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{}
+	}
+	e.wg.Add(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		// Attach here, in shard order, not in the worker goroutines:
+		// under lockstep the engine's turn order follows attachment
+		// order, and a deterministic schedule needs a deterministic
+		// attach sequence.
+		th := st.tm.Thread(i + 1)
+		go e.runShard(i, th)
+	}
+	return e
+}
+
+// Config returns the executor's configuration (after defaulting).
+func (e *Executor) Config() ExecConfig { return e.cfg }
+
+// ShardOf returns the shard index serving key.
+func (e *Executor) ShardOf(key []byte) int {
+	return int(kvstore.HashKey(key) % uint64(len(e.shards)))
+}
+
+// Submit enqueues req on its key's shard. It reports false — without
+// completing req — when the shard queue is full or the executor is
+// draining; the caller answers "SERVER_ERROR busy". On true, req
+// completes asynchronously (Done closes if set).
+func (e *Executor) Submit(req *Request) bool {
+	if e.draining.Load() {
+		return false
+	}
+	s := e.shards[e.ShardOf(req.Key)]
+	if req.EnqVT == 0 {
+		req.EnqVT = s.lastVT.Load()
+	}
+	s.mu.Lock()
+	if len(s.queue)-s.head >= e.cfg.QueueDepth {
+		s.mu.Unlock()
+		e.met.Add(metrics.CtrSrvShed, 1)
+		return false
+	}
+	s.queue = append(s.queue, req)
+	s.mu.Unlock()
+	e.queued.Add(1)
+	e.met.Add(metrics.CtrSrvRequests, 1)
+	return true
+}
+
+// pop removes up to max requests from shard s.
+func (s *shard) pop(max int, e *Executor) []*Request {
+	s.mu.Lock()
+	n := len(s.queue) - s.head
+	if n == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := s.queue[s.head : s.head+n]
+	s.head += n
+	if s.head == len(s.queue) {
+		// Reuse the backing array once drained; keeps steady state
+		// allocation-free.
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	s.mu.Unlock()
+	e.queued.Add(int64(-n))
+	return out
+}
+
+// finish completes req.
+func finish(req *Request) {
+	if req.Done != nil {
+		close(req.Done)
+	}
+}
+
+// runShard is one shard worker: poll, assemble a batch, shed the
+// overdue, execute the rest in one transaction. It must keep moving
+// virtual time (Compute) whenever idle so the other threads of the
+// windowed engine never wait on it.
+func (e *Executor) runShard(i int, th *core.Thread) {
+	defer e.wg.Done()
+	defer th.Detach()
+	s := e.shards[i]
+	// A simulated power failure (crash-injection hook) unwinds the
+	// in-flight transaction without rollback; the worker dies with the
+	// machine, exactly as a real one would. Requests in the cut batch
+	// never complete — their durability is decided by recovery. The
+	// clock stamp matters: Crash(vt) replays the device's pending
+	// queue only up to vt, so the failure instant must be recorded.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(core.PowerFailure); !ok {
+				panic(r)
+			}
+			s.lastVT.Store(th.Now())
+		}
+	}()
+	batch := make([]*Request, 0, e.cfg.MaxBatch)
+	for {
+		s.lastVT.Store(th.Now())
+		batch = append(batch[:0], s.pop(e.cfg.MaxBatch, e)...)
+		if len(batch) == 0 {
+			if e.inputsDone.Load() {
+				return
+			}
+			th.Compute(e.cfg.PollNS)
+			if e.cfg.IdleSleep > 0 {
+				time.Sleep(e.cfg.IdleSleep)
+			}
+			continue
+		}
+		// Group commit: wait out the batch window for stragglers.
+		if e.cfg.BatchWindowNS > 0 && len(batch) < e.cfg.MaxBatch {
+			deadline := th.Now() + e.cfg.BatchWindowNS
+			for len(batch) < e.cfg.MaxBatch && th.Now() < deadline {
+				more := s.pop(e.cfg.MaxBatch-len(batch), e)
+				if len(more) == 0 {
+					th.Compute(e.cfg.PollNS)
+					continue
+				}
+				batch = append(batch, more...)
+			}
+		}
+		e.execBatch(s, th, batch)
+	}
+}
+
+// execBatch sheds overdue requests, runs the rest in one transaction,
+// and completes everything.
+func (e *Executor) execBatch(s *shard, th *core.Thread, batch []*Request) {
+	now := th.Now()
+	live := batch[:0]
+	for _, req := range batch {
+		if e.cfg.DeadlineNS > 0 && now-req.EnqVT > e.cfg.DeadlineNS {
+			req.Shed = true
+			s.shed++
+			e.met.Add(metrics.CtrSrvShed, 1)
+			finish(req)
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) > 0 {
+		kv := e.st.kv
+		th.Atomic(func(tx *core.Tx) {
+			// The body re-runs on abort: every result field is plainly
+			// overwritten so retries stay idempotent.
+			for _, req := range live {
+				switch req.Op {
+				case OpGet:
+					req.Val, req.ValFlags, req.Found = kv.Get(tx, req.Key)
+				case OpSet:
+					req.Err = kv.Set(tx, req.Key, req.Value, req.Flags)
+				case OpDelete:
+					req.Found = kv.Delete(tx, req.Key)
+				case OpIncr:
+					req.NewVal, req.Found, req.Err = kv.Incr(tx, req.Key, req.Delta)
+				}
+			}
+		})
+		end := th.Now()
+		s.lastVT.Store(end)
+		for _, req := range live {
+			s.latency.Record(end - req.EnqVT)
+			finish(req)
+		}
+		s.executed += int64(len(live))
+		s.batchSizes.Record(int64(len(live)))
+		e.met.Add(metrics.CtrSrvBatches, 1)
+		e.met.Add(metrics.CtrSrvBatchedOps, int64(len(live)))
+	}
+	if e.rec.Tracing() {
+		e.rec.CountShared(obs.TrackServerQueue, th.Now(), float64(e.queued.Load()))
+	}
+}
+
+// ShardVT returns shard i's last observed virtual timestamp — after a
+// drain, the slowest shard's clock bounds the run's virtual elapsed
+// time.
+func (e *Executor) ShardVT(i int) int64 { return e.shards[i].lastVT.Load() }
+
+// InputsDone tells the workers no further Submit will arrive; each
+// exits once its queue is empty. Used by loadsim, where the run ends
+// when the generated arrivals are all served.
+func (e *Executor) InputsDone() { e.inputsDone.Store(true) }
+
+// Drain stops admission, waits for the workers to finish what is
+// queued, and completes any leftover requests with ErrDraining. After
+// Drain the machine's worker threads are detached; the store can be
+// crashed and saved.
+func (e *Executor) Drain() {
+	e.draining.Store(true)
+	e.inputsDone.Store(true)
+	e.wg.Wait()
+	// The workers exit when they see an empty queue, but a Submit
+	// racing with shutdown can land an entry after that look; sweep it.
+	for _, s := range e.shards {
+		for _, req := range s.pop(1<<31-1, e) {
+			req.Err = ErrDraining
+			finish(req)
+		}
+	}
+}
+
+// ExecStats is a point-in-time roll-up across shards.
+type ExecStats struct {
+	Executed   int64
+	Shed       int64
+	Queued     int64
+	Latency    stats.Histogram // merged enqueue→completion latency
+	BatchSizes stats.Histogram
+}
+
+// Stats merges the per-shard accounting. Call it only when the
+// workers are quiescent (after Drain, or between loadsim phases).
+func (e *Executor) Stats() ExecStats {
+	var out ExecStats
+	out.Queued = e.queued.Load()
+	for _, s := range e.shards {
+		out.Executed += s.executed
+		out.Shed += s.shed
+		out.Latency.Merge(&s.latency)
+		out.BatchSizes.Merge(&s.batchSizes)
+	}
+	return out
+}

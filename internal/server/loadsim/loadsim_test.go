@@ -1,0 +1,89 @@
+package loadsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// smallCfg keeps unit runs fast; the CI determinism job runs the
+// full-size config through cmd/ptmserve -loadsim.
+func smallCfg() Config {
+	return Config{
+		Shards:   2,
+		Keys:     512,
+		Requests: 4000,
+		Rate:     4e6,
+		Seed:     7,
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	res, err := Run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed+res.Shed+res.Rejected != int64(res.Cfg.Requests) {
+		t.Fatalf("accounting leak: executed %d + shed %d + rejected %d != %d requests",
+			res.Executed, res.Shed, res.Rejected, res.Cfg.Requests)
+	}
+	if res.Executed == 0 {
+		t.Fatal("no requests executed")
+	}
+	if res.P99 <= 0 {
+		t.Fatalf("p99 = %d, want > 0", res.P99)
+	}
+}
+
+// TestDeterminism: two identical runs must agree bit-for-bit — the
+// property the golden hash and the CI byte-compare rest on.
+func TestDeterminism(t *testing.T) {
+	a, err := Run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := Report([]Result{a}), Report([]Result{b})
+	if ra != rb {
+		t.Fatalf("two identical runs diverged:\n%s\nvs\n%s", ra, rb)
+	}
+}
+
+// TestGoldenHash pins the report bytes of a fixed config. A mismatch
+// means the simulated schedule changed — intended changes update the
+// constant, everything else is a regression in determinism.
+func TestGoldenHash(t *testing.T) {
+	results, err := Curve(smallCfg(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(Report(results)))
+	got := hex.EncodeToString(sum[:])
+	const want = "2e80337f0ecb7809892d9fd573239618bda48a49518a313f29026676e42a9445"
+	if got != want {
+		t.Fatalf("golden report hash changed:\n got %s\nwant %s\nreport:\n%s", got, want, Report(results))
+	}
+}
+
+// TestBatchingReducesTailLatency is the harness's reason to exist: at
+// an arrival rate that saturates unbatched commit, coalescing must cut
+// p99 service latency.
+func TestBatchingReducesTailLatency(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rate = 8e6 // well past per-op commit throughput
+	results, err := Curve(cfg, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbatched, batched := results[0], results[1]
+	if batched.MeanBatch < 2 {
+		t.Fatalf("high load never filled batches: mean %v", batched.MeanBatch)
+	}
+	if batched.P99 >= unbatched.P99 {
+		t.Fatalf("batching did not cut p99: batch=16 p99 %d >= batch=1 p99 %d",
+			batched.P99, unbatched.P99)
+	}
+}

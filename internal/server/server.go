@@ -1,0 +1,321 @@
+// Package server is the serving layer over the PTM core: a persistent
+// key/value service in the shape of the paper's capstone experiment
+// (§V, memcached under memaslap load), but run as a real service
+// rather than a closed-loop microbenchmark.
+//
+// The package has three parts:
+//
+//   - Store (this file) — the persistent state: a byte-string KV table
+//     (kvstore.KV over the transactional hash index) on a PTM heap,
+//     with a media-image file so the simulated NVM survives process
+//     restarts. Opening an existing image rebuilds the memory system
+//     around the saved media bytes and runs core.Reopen recovery,
+//     exactly what a persistent-memory service does after a crash.
+//   - Executor (executor.go) — sharded transaction execution with
+//     commit coalescing: per-shard bounded request queues feed worker
+//     threads that group adjacent writes into one transaction, bounded
+//     by batch size and a virtual-time window, with per-request
+//     deadlines and load shedding for graceful degradation.
+//   - Server (tcp.go) — a TCP frontend speaking a memcached text
+//     protocol subset (get/set/delete/incr/stats/quit) with graceful
+//     drain on shutdown.
+//
+// The deterministic open-loop companion lives in server/loadsim: it
+// drives the same Executor entirely in virtual time and emits
+// reproducible p50/p90/p99 service-latency curves.
+//
+// See docs/SERVING.md for the protocol subset, the batching and
+// recovery design, and a latency-curve walkthrough.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"goptm/internal/core"
+	"goptm/internal/durability"
+	"goptm/internal/membus"
+	"goptm/internal/memdev"
+	"goptm/internal/metrics"
+	"goptm/internal/obs"
+	"goptm/internal/workload/kvstore"
+)
+
+// kvRootSlot is the heap root slot holding the KV index table.
+const kvRootSlot = 0
+
+// StoreConfig parameterizes a Store. The zero value selects a
+// redo-logged ADR machine with 4 shards — the configuration the
+// paper's serving experiment uses.
+type StoreConfig struct {
+	Algo    core.Algo
+	Domain  durability.Domain
+	Shards  int    // executor shards; the machine gets Shards+1 threads
+	Heap    uint64 // persistent heap words; 0 selects 1<<21 (16 MiB)
+	Buckets int    // hash index buckets (power of two); 0 selects 1<<14
+	// MaxLogEntries bounds one transaction's log; 0 derives a bound
+	// from MaxValueBytes and the largest batch the executor may form.
+	MaxLogEntries int
+	// MaxValueBytes caps one value; 0 selects 8 KiB. The protocol layer
+	// rejects larger sets so a batch can never overflow the redo log.
+	MaxValueBytes int
+	// MaxBatch is the largest write batch the executor will coalesce
+	// into one transaction (used to size the log); 0 selects 8.
+	MaxBatch int
+	// Lockstep runs the machine under the deterministic scheduler
+	// (loadsim sets it; the TCP server leaves it off so executor
+	// shards run concurrently on host cores).
+	Lockstep bool
+
+	Recorder *obs.Recorder
+	Metrics  *metrics.Registry
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.Domain == durability.NoReserve {
+		// A serving store needs a durable commit point; under NoReserve
+		// the WPQ — and any commit marker waiting in it — evaporates at
+		// power failure. The zero value therefore means ADR, the
+		// weakest domain the paper treats as a persistence platform.
+		c.Domain = durability.ADR
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Heap == 0 {
+		c.Heap = 1 << 21
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1 << 14
+	}
+	if c.MaxValueBytes == 0 {
+		c.MaxValueBytes = 8 << 10
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxLogEntries == 0 {
+		// One set writes the item header, key, and value words plus a
+		// handful of index words; a batch multiplies that. Headroom
+		// doubles the bound so incr reallocation and index chains fit.
+		perSet := 4 + 32 + c.MaxValueBytes/8 + 16
+		c.MaxLogEntries = 2 * c.MaxBatch * perSet
+	}
+	return c
+}
+
+// coreConfig maps a StoreConfig onto the machine configuration.
+func (c StoreConfig) coreConfig() core.Config {
+	return core.Config{
+		Algo:          c.Algo,
+		Medium:        core.MediumNVM,
+		Domain:        c.Domain,
+		Threads:       c.Shards + 1, // +1: setup/generator/admin thread 0
+		HeapWords:     c.Heap,
+		MaxLogEntries: c.MaxLogEntries,
+		Lockstep:      c.Lockstep,
+		Recorder:      c.Recorder,
+		Metrics:       c.Metrics,
+	}
+}
+
+// Store is the persistent state of the service: a PTM machine whose
+// heap holds one byte-string KV table, plus the bookkeeping to save
+// and reopen the simulated NVM's media image across process restarts.
+type Store struct {
+	cfg StoreConfig
+	tm  *core.TM
+	kv  kvstore.KV
+
+	// Recovered reports whether this store was reopened from an image
+	// (true) or freshly formatted (false); Recovery holds the
+	// post-crash recovery report in the former case.
+	Recovered bool
+	Recovery  core.RecoveryReport
+}
+
+// Open formats a fresh store: a new machine, an empty KV table
+// published in the heap root.
+func Open(cfg StoreConfig) (*Store, error) {
+	cfg = cfg.withDefaults()
+	tm, err := core.New(cfg.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg, tm: tm}
+	th := tm.Thread(0)
+	th.Atomic(func(tx *core.Tx) {
+		st.kv = kvstore.CreateKV(tx, cfg.Buckets)
+	})
+	tm.SetRoot(th, kvRootSlot, st.kv.Table())
+	th.Detach()
+	return st, nil
+}
+
+// TM exposes the machine.
+func (st *Store) TM() *core.TM { return st.tm }
+
+// KV exposes the persistent table.
+func (st *Store) KV() kvstore.KV { return st.kv }
+
+// Config returns the store's configuration (after defaulting).
+func (st *Store) Config() StoreConfig { return st.cfg }
+
+// Crash simulates a power failure at the machine's current virtual
+// time: the durability domain's policy resolves the WPQ and caches
+// into the final media image. All threads must be detached. The store
+// is unusable afterwards except for SaveImage; reopen via OpenImage.
+func (st *Store) Crash(vt int64) {
+	st.tm.Crash(vt)
+}
+
+// The image file is: magic, a JSON header with the store geometry
+// (so a restart needs no flag agreement), then the raw NVM media
+// image, one little-endian uint64 per word.
+var imageMagic = [8]byte{'P', 'T', 'M', 'K', 'V', 'I', 'M', '1'}
+
+// imageHeader is the persisted store geometry.
+type imageHeader struct {
+	Algo          int    `json:"algo"`
+	Domain        int    `json:"domain"`
+	Shards        int    `json:"shards"`
+	Heap          uint64 `json:"heap_words"`
+	Buckets       int    `json:"buckets"`
+	MaxLogEntries int    `json:"max_log_entries"`
+	MaxValueBytes int    `json:"max_value_bytes"`
+	MaxBatch      int    `json:"max_batch"`
+	NVMWords      uint64 `json:"nvm_words"`
+}
+
+// SaveImage writes the NVM media image and the store geometry to
+// path. Call it only on a quiescent machine whose media image is
+// final — after Crash (power-failure semantics; recovery will run on
+// reopen) or after Quiesce on the bus (clean shutdown).
+func (st *Store) SaveImage(path string) error {
+	dev := st.tm.Bus().Device()
+	nvm := dev.NVMWords()
+	hdr, err := json.Marshal(imageHeader{
+		Algo:          int(st.cfg.Algo),
+		Domain:        int(st.cfg.Domain),
+		Shards:        st.cfg.Shards,
+		Heap:          st.cfg.Heap,
+		Buckets:       st.cfg.Buckets,
+		MaxLogEntries: st.cfg.MaxLogEntries,
+		MaxValueBytes: st.cfg.MaxValueBytes,
+		MaxBatch:      st.cfg.MaxBatch,
+		NVMWords:      nvm,
+	})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var scratch [8]byte
+	w.Write(imageMagic[:])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(hdr)))
+	w.Write(scratch[:4])
+	w.Write(hdr)
+	for a := memdev.Addr(0); a < memdev.Addr(nvm); a++ {
+		binary.LittleEndian.PutUint64(scratch[:], dev.MediaLoad(a))
+		w.Write(scratch[:])
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The rename makes image replacement atomic: a crash mid-save
+	// leaves the previous image intact.
+	return os.Rename(tmp, path)
+}
+
+// OpenImage rebuilds a store from an image file: a fresh memory
+// system with the saved media bytes installed, then core.Reopen runs
+// crash recovery (redo replay / undo rollback / allocator GC) before
+// the KV root is re-attached.
+func OpenImage(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 12 || [8]byte(data[:8]) != imageMagic {
+		return nil, fmt.Errorf("server: %s is not a ptmserve image", path)
+	}
+	hlen := int(binary.LittleEndian.Uint32(data[8:12]))
+	if len(data) < 12+hlen {
+		return nil, fmt.Errorf("server: truncated image header in %s", path)
+	}
+	var hdr imageHeader
+	if err := json.Unmarshal(data[12:12+hlen], &hdr); err != nil {
+		return nil, fmt.Errorf("server: bad image header in %s: %w", path, err)
+	}
+	cfg := StoreConfig{
+		Algo:          core.Algo(hdr.Algo),
+		Domain:        durability.Domain(hdr.Domain),
+		Shards:        hdr.Shards,
+		Heap:          hdr.Heap,
+		Buckets:       hdr.Buckets,
+		MaxLogEntries: hdr.MaxLogEntries,
+		MaxValueBytes: hdr.MaxValueBytes,
+		MaxBatch:      hdr.MaxBatch,
+	}.withDefaults()
+	body := data[12+hlen:]
+	if uint64(len(body)) != hdr.NVMWords*8 {
+		return nil, fmt.Errorf("server: image body is %d bytes, want %d", len(body), hdr.NVMWords*8)
+	}
+
+	ccfg := cfg.coreConfig()
+	bus, err := core.NewBus(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	dev := bus.Device()
+	if dev.NVMWords() != hdr.NVMWords {
+		return nil, fmt.Errorf("server: image NVM geometry %d words does not match config-derived %d", hdr.NVMWords, dev.NVMWords())
+	}
+	var payload [memdev.WordsPerLine]uint64
+	for ln := uint64(0); ln < hdr.NVMWords/memdev.WordsPerLine; ln++ {
+		base := ln * memdev.WordsPerLine * 8
+		for w := range payload {
+			payload[w] = binary.LittleEndian.Uint64(body[base+uint64(w)*8:])
+		}
+		dev.MediaWriteLine(ln, payload)
+	}
+
+	tm, rep, err := core.Reopen(bus, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovery failed: %w", err)
+	}
+	st := &Store{cfg: cfg, tm: tm, Recovered: true, Recovery: rep}
+	th := tm.Thread(0)
+	root := tm.Root(th, kvRootSlot)
+	th.Detach()
+	if root == 0 {
+		return nil, fmt.Errorf("server: image has no KV root")
+	}
+	st.kv = kvstore.OpenKV(root)
+	return st, nil
+}
+
+// OpenOrRecover opens path if it exists, else formats a fresh store
+// with cfg — the single entry point ptmserve uses at startup.
+func OpenOrRecover(path string, cfg StoreConfig) (*Store, error) {
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			return OpenImage(path)
+		}
+	}
+	return Open(cfg)
+}
+
+// Bus exposes the memory system (tests, quiesce on clean shutdown).
+func (st *Store) Bus() *membus.Bus { return st.tm.Bus() }

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+
+	"goptm/internal/metrics"
+)
+
+// The TCP frontend speaks the memcached text protocol subset the
+// paper's serving experiment exercises: get, set, delete, incr, stats,
+// quit. Connection goroutines are ordinary host goroutines — they
+// never touch the simulated machine directly. Each parsed command
+// becomes a Request submitted to the executor, and the goroutine
+// blocks on the request's Done channel while the simulated shard
+// thread executes it in virtual time.
+
+// Server is the TCP frontend over a Store and its Executor.
+type Server struct {
+	st   *Store
+	exec *Executor
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts accepting on ln. It owns ln and the executor: Shutdown
+// closes both.
+func Serve(st *Store, exec *Executor, ln net.Listener) *Server {
+	srv := &Server{st: st, exec: exec, ln: ln, conns: make(map[net.Conn]struct{})}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv
+}
+
+// Addr returns the listener address (tests bind to port 0).
+func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
+
+func (srv *Server) acceptLoop() {
+	defer srv.wg.Done()
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			conn.Close()
+			return
+		}
+		srv.conns[conn] = struct{}{}
+		srv.mu.Unlock()
+		srv.wg.Add(1)
+		go srv.serveConn(conn)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, close the connections,
+// wait for in-flight commands, drain the executor. The store is then
+// quiescent and can be crashed and imaged.
+func (srv *Server) Shutdown() {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return
+	}
+	srv.closed = true
+	conns := make([]net.Conn, 0, len(srv.conns))
+	for c := range srv.conns {
+		conns = append(conns, c)
+	}
+	srv.mu.Unlock()
+	srv.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	srv.wg.Wait()
+	srv.exec.Drain()
+}
+
+var crlf = []byte("\r\n")
+
+func (srv *Server) serveConn(conn net.Conn) {
+	defer srv.wg.Done()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, conn)
+		srv.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) == 0 {
+			continue
+		}
+		fields := bytes.Fields(line)
+		quit, err := srv.dispatch(fields, r, w)
+		if err != nil {
+			return // connection-fatal: malformed payload framing
+		}
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command. The returned error means the
+// connection can no longer be parsed and must drop; protocol-level
+// problems are reported in-band (ERROR / CLIENT_ERROR ...).
+func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+	cmd := string(fields[0])
+	switch cmd {
+	case "quit":
+		return true, nil
+
+	case "get", "gets":
+		if len(fields) < 2 {
+			fmt.Fprintf(w, "ERROR\r\n")
+			return false, nil
+		}
+		for _, key := range fields[1:] {
+			req := &Request{Op: OpGet, Key: key, Done: make(chan struct{})}
+			if !srv.submitWait(req) {
+				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+				return false, nil
+			}
+			if req.Found {
+				fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, req.ValFlags, len(req.Val))
+				w.Write(req.Val)
+				w.Write(crlf)
+			}
+		}
+		fmt.Fprintf(w, "END\r\n")
+
+	case "set":
+		// set <key> <flags> <exptime> <bytes> [noreply]
+		if len(fields) < 5 {
+			fmt.Fprintf(w, "ERROR\r\n")
+			return false, nil
+		}
+		flags, ferr := strconv.ParseUint(string(fields[2]), 10, 32)
+		nbytes, berr := strconv.Atoi(string(fields[4]))
+		if ferr != nil || berr != nil || nbytes < 0 {
+			fmt.Fprintf(w, "CLIENT_ERROR bad command line format\r\n")
+			return false, nil
+		}
+		noreply := len(fields) >= 6 && string(fields[5]) == "noreply"
+		// The payload follows regardless of validity; it must be
+		// consumed to keep the stream parseable.
+		payload := make([]byte, nbytes+2)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return false, err
+		}
+		if !bytes.HasSuffix(payload, crlf) {
+			fmt.Fprintf(w, "CLIENT_ERROR bad data chunk\r\n")
+			return false, nil
+		}
+		val := payload[:nbytes]
+		if nbytes > srv.st.cfg.MaxValueBytes {
+			if !noreply {
+				fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
+			}
+			return false, nil
+		}
+		req := &Request{Op: OpSet, Key: fields[1], Value: val, Flags: uint32(flags), Done: make(chan struct{})}
+		if !srv.submitWait(req) {
+			if !noreply {
+				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+			}
+			return false, nil
+		}
+		if noreply {
+			return false, nil
+		}
+		if req.Err != nil {
+			fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", req.Err)
+		} else {
+			fmt.Fprintf(w, "STORED\r\n")
+		}
+
+	case "delete":
+		if len(fields) < 2 {
+			fmt.Fprintf(w, "ERROR\r\n")
+			return false, nil
+		}
+		noreply := len(fields) >= 3 && string(fields[2]) == "noreply"
+		req := &Request{Op: OpDelete, Key: fields[1], Done: make(chan struct{})}
+		if !srv.submitWait(req) {
+			if !noreply {
+				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+			}
+			return false, nil
+		}
+		if noreply {
+			return false, nil
+		}
+		if req.Found {
+			fmt.Fprintf(w, "DELETED\r\n")
+		} else {
+			fmt.Fprintf(w, "NOT_FOUND\r\n")
+		}
+
+	case "incr":
+		if len(fields) < 3 {
+			fmt.Fprintf(w, "ERROR\r\n")
+			return false, nil
+		}
+		delta, derr := strconv.ParseUint(string(fields[2]), 10, 64)
+		if derr != nil {
+			fmt.Fprintf(w, "CLIENT_ERROR invalid numeric delta argument\r\n")
+			return false, nil
+		}
+		req := &Request{Op: OpIncr, Key: fields[1], Delta: delta, Done: make(chan struct{})}
+		if !srv.submitWait(req) {
+			fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+			return false, nil
+		}
+		switch {
+		case req.Err != nil:
+			fmt.Fprintf(w, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+		case !req.Found:
+			fmt.Fprintf(w, "NOT_FOUND\r\n")
+		default:
+			fmt.Fprintf(w, "%d\r\n", req.NewVal)
+		}
+
+	case "stats":
+		srv.writeStats(w)
+
+	default:
+		fmt.Fprintf(w, "ERROR\r\n")
+	}
+	return false, nil
+}
+
+// submitWait submits req and blocks until it completes. It reports
+// false when the request was rejected (queue full, draining) or shed.
+func (srv *Server) submitWait(req *Request) bool {
+	if !srv.exec.Submit(req) {
+		return false
+	}
+	<-req.Done
+	return !req.Shed && req.Err != ErrDraining
+}
+
+// writeStats emits the service counters in "STAT name value" form.
+func (srv *Server) writeStats(w *bufio.Writer) {
+	met := srv.st.tm.Metrics()
+	stat := func(name string, v int64) { fmt.Fprintf(w, "STAT %s %d\r\n", name, v) }
+	stat("cmd_total", met.Get(metrics.CtrSrvRequests))
+	stat("shed_total", met.Get(metrics.CtrSrvShed))
+	stat("batches_total", met.Get(metrics.CtrSrvBatches))
+	stat("batched_ops_total", met.Get(metrics.CtrSrvBatchedOps))
+	stat("txn_commits", met.Get(metrics.CtrCommits))
+	stat("txn_aborts", met.Get(metrics.CtrAborts))
+	stat("queue_depth", srv.exec.queued.Load())
+	fmt.Fprintf(w, "END\r\n")
+}

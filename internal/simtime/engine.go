@@ -12,6 +12,20 @@
 // acquiring a busy server pushes the caller's completion time into the
 // future, which is how bandwidth saturation emerges.
 //
+// Two scheduling modes share the window discipline. NewEngine runs
+// attached threads concurrently on host cores inside each window.
+// NewLockstepEngine grants the floor to exactly one thread at a time,
+// in thread-id order per window, via direct per-thread handoff — the
+// same interleaving every run, which makes a simulation a pure
+// function of its configuration; the experiment engine's result cache
+// and byte-identical parallelism are built on that property, and the
+// memory-system packages elide their locks when told a lockstep engine
+// is driving them.
+//
+// Rand is the deterministic splitmix64 generator workloads draw from;
+// seeding it per thread keeps randomness reproducible and
+// host-independent.
+//
 // Virtual time makes experiment results independent of the host's core
 // count and speed: throughput is computed as committed operations per
 // *virtual* second.

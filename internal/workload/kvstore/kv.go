@@ -1,0 +1,227 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"goptm/internal/core"
+	"goptm/internal/memdev"
+	"goptm/internal/pstruct/phash"
+)
+
+// This file adds the byte-string face of the store: the same
+// phash-indexed persistent layout the Figure 8 workload sweeps, but
+// keyed by arbitrary byte keys with variable-length values — what the
+// ptmserve network service and its load simulator speak. Keys are
+// indexed by their 64-bit hash; the full key is stored in the item
+// block and verified on every lookup, so a hash collision degrades to
+// an eviction of the previous occupant (astronomically unlikely at
+// service scale) rather than a wrong answer.
+
+// Item block layout, in words. Byte strings pack 8 bytes per word,
+// little-endian, zero padded.
+const (
+	kvKeyLen  = 0 // key length in bytes
+	kvValLen  = 1 // value length in bytes
+	kvValCap  = 2 // allocated value capacity in words
+	kvFlags   = 3 // memcached opaque flags
+	kvHdr     = 4
+	maxKeyLen = 250 // the memcached protocol limit
+)
+
+// KV is a persistent byte-string key/value table over the PTM heap.
+// All methods must run inside a transaction; effects are
+// failure-atomic and durable at commit like any other transactional
+// write.
+type KV struct {
+	idx phash.Map
+}
+
+// CreateKV allocates a fresh table with the given bucket count
+// (power of two) inside tx.
+func CreateKV(tx *core.Tx, buckets int) KV {
+	return KV{idx: phash.Create(tx, buckets)}
+}
+
+// OpenKV re-attaches to a table persisted in a heap root slot.
+func OpenKV(table memdev.Addr) KV { return KV{idx: phash.Open(table)} }
+
+// Table returns the index block address for persisting in a root slot.
+func (kv KV) Table() memdev.Addr { return kv.idx.Table() }
+
+// HashKey is FNV-1a over the key bytes: the 64-bit index key. It is
+// exported so the serving layer can partition the keyspace with the
+// same function the index uses (a shard owns every key it indexes).
+func HashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// wordsFor returns the words needed to pack n bytes.
+func wordsFor(n int) uint64 { return uint64(n+7) / 8 }
+
+// storeBytes packs b into consecutive words starting at a.
+func storeBytes(tx *core.Tx, a memdev.Addr, b []byte) {
+	for w := 0; w < len(b); w += 8 {
+		var v uint64
+		end := w + 8
+		if end > len(b) {
+			end = len(b)
+		}
+		for i := w; i < end; i++ {
+			v |= uint64(b[i]) << (8 * uint(i-w))
+		}
+		tx.Store(a+memdev.Addr(w/8), v)
+	}
+}
+
+// loadBytes unpacks n bytes from consecutive words starting at a,
+// appending to dst.
+func loadBytes(tx *core.Tx, a memdev.Addr, n int, dst []byte) []byte {
+	for w := 0; w < n; w += 8 {
+		v := tx.Load(a + memdev.Addr(w/8))
+		end := w + 8
+		if end > n {
+			end = n
+		}
+		for i := w; i < end; i++ {
+			dst = append(dst, byte(v>>(8*uint(i-w))))
+		}
+	}
+	return dst
+}
+
+// keyMatches reports whether the block at item stores exactly key.
+func keyMatches(tx *core.Tx, item memdev.Addr, key []byte) bool {
+	if int(tx.Load(item+kvKeyLen)) != len(key) {
+		return false
+	}
+	for w := 0; w < len(key); w += 8 {
+		var v uint64
+		end := w + 8
+		if end > len(key) {
+			end = len(key)
+		}
+		for i := w; i < end; i++ {
+			v |= uint64(key[i]) << (8 * uint(i-w))
+		}
+		if tx.Load(item+kvHdr+memdev.Addr(w/8)) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the item block for key, verifying the stored key.
+func (kv KV) lookup(tx *core.Tx, key []byte) (memdev.Addr, bool) {
+	w, ok := kv.idx.Get(tx, HashKey(key))
+	if !ok {
+		return 0, false
+	}
+	item := memdev.Addr(w)
+	if !keyMatches(tx, item, key) {
+		return 0, false
+	}
+	return item, true
+}
+
+// Get returns the value and flags stored under key. The returned slice
+// is freshly allocated (transactional loads copy out of the heap).
+func (kv KV) Get(tx *core.Tx, key []byte) (val []byte, flags uint32, ok bool) {
+	item, ok := kv.lookup(tx, key)
+	if !ok {
+		return nil, 0, false
+	}
+	n := int(tx.Load(item + kvValLen))
+	val = loadBytes(tx, item+kvHdr+memdev.Addr(wordsFor(len(key))), n, make([]byte, 0, n))
+	return val, uint32(tx.Load(item + kvFlags)), true
+}
+
+// Set stores (key, val, flags), replacing any existing binding. The
+// value is rewritten in place when it fits the block's capacity;
+// otherwise a new block is allocated and the old one freed. Keys are
+// limited to 250 bytes (the memcached protocol bound).
+func (kv KV) Set(tx *core.Tx, key, val []byte, flags uint32) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("kvstore: key length %d out of range [1,%d]", len(key), maxKeyLen)
+	}
+	h := HashKey(key)
+	kw := wordsFor(len(key))
+	if w, found := kv.idx.Get(tx, h); found {
+		item := memdev.Addr(w)
+		if keyMatches(tx, item, key) && wordsFor(len(val)) <= tx.Load(item+kvValCap) {
+			// In-place overwrite: value fits the allocated capacity.
+			tx.Store(item+kvValLen, uint64(len(val)))
+			tx.Store(item+kvFlags, uint64(flags))
+			storeBytes(tx, item+kvHdr+memdev.Addr(kw), val)
+			return nil
+		}
+		// Capacity exceeded — or a hash collision, which evicts the
+		// previous occupant (the full stored key no longer matches, so
+		// lookups of the old key will miss).
+		tx.Free(item)
+	}
+	vcap := wordsFor(len(val))
+	item := tx.Alloc(kvHdr + kw + vcap)
+	tx.Store(item+kvKeyLen, uint64(len(key)))
+	tx.Store(item+kvValLen, uint64(len(val)))
+	tx.Store(item+kvValCap, vcap)
+	tx.Store(item+kvFlags, uint64(flags))
+	storeBytes(tx, item+kvHdr, key)
+	storeBytes(tx, item+kvHdr+memdev.Addr(kw), val)
+	kv.idx.Put(tx, h, uint64(item))
+	return nil
+}
+
+// Delete removes key and reports whether it was present.
+func (kv KV) Delete(tx *core.Tx, key []byte) bool {
+	item, ok := kv.lookup(tx, key)
+	if !ok {
+		return false
+	}
+	kv.idx.Delete(tx, HashKey(key))
+	tx.Free(item)
+	return true
+}
+
+// Incr interprets the stored value as an ASCII decimal uint64, adds
+// delta (wrapping, as memcached does), stores the new decimal back,
+// and returns the new value. found reports whether the key exists;
+// err is non-nil when the stored value is not a decimal number.
+func (kv KV) Incr(tx *core.Tx, key []byte, delta uint64) (newVal uint64, found bool, err error) {
+	item, ok := kv.lookup(tx, key)
+	if !ok {
+		return 0, false, nil
+	}
+	n := int(tx.Load(item + kvValLen))
+	kw := wordsFor(len(key))
+	old := loadBytes(tx, item+kvHdr+memdev.Addr(kw), n, make([]byte, 0, n))
+	var cur uint64
+	if len(old) == 0 || len(old) > 20 {
+		return 0, true, fmt.Errorf("kvstore: value is not a number")
+	}
+	for _, c := range old {
+		if c < '0' || c > '9' {
+			return 0, true, fmt.Errorf("kvstore: value is not a number")
+		}
+		cur = cur*10 + uint64(c-'0')
+	}
+	cur += delta
+	buf := fmt.Appendf(nil, "%d", cur)
+	if wordsFor(len(buf)) <= tx.Load(item+kvValCap) {
+		tx.Store(item+kvValLen, uint64(len(buf)))
+		storeBytes(tx, item+kvHdr+memdev.Addr(kw), buf)
+		return cur, true, nil
+	}
+	flags := uint32(tx.Load(item + kvFlags))
+	if err := kv.Set(tx, key, buf, flags); err != nil {
+		return 0, true, err
+	}
+	return cur, true, nil
+}
+
+// Len counts the stored keys (verification helper).
+func (kv KV) Len(tx *core.Tx) int { return kv.idx.Len(tx) }

@@ -1,0 +1,197 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"goptm/internal/core"
+)
+
+func newKVTM(t *testing.T) (*core.TM, KV) {
+	t.Helper()
+	tm := core.MustNew(core.Config{Threads: 1, HeapWords: 1 << 18})
+	var kv KV
+	th := tm.Thread(0)
+	defer th.Detach()
+	th.Atomic(func(tx *core.Tx) {
+		kv = CreateKV(tx, 256)
+	})
+	return tm, kv
+}
+
+func TestKVSetGetDelete(t *testing.T) {
+	tm, kv := newKVTM(t)
+	th := tm.Thread(0)
+	defer th.Detach()
+
+	th.Atomic(func(tx *core.Tx) {
+		if err := kv.Set(tx, []byte("alpha"), []byte("first value"), 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Set(tx, []byte("beta"), []byte(""), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		v, flags, ok := kv.Get(tx, []byte("alpha"))
+		if !ok || !bytes.Equal(v, []byte("first value")) || flags != 7 {
+			t.Fatalf("get alpha = %q, %d, %v", v, flags, ok)
+		}
+		v, _, ok = kv.Get(tx, []byte("beta"))
+		if !ok || len(v) != 0 {
+			t.Fatalf("get beta = %q, %v, want empty present", v, ok)
+		}
+		if _, _, ok := kv.Get(tx, []byte("gamma")); ok {
+			t.Fatal("get gamma: phantom key")
+		}
+		if n := kv.Len(tx); n != 2 {
+			t.Fatalf("len = %d, want 2", n)
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		if !kv.Delete(tx, []byte("alpha")) {
+			t.Fatal("delete alpha: not found")
+		}
+		if kv.Delete(tx, []byte("alpha")) {
+			t.Fatal("double delete succeeded")
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		if _, _, ok := kv.Get(tx, []byte("alpha")); ok {
+			t.Fatal("alpha survived delete")
+		}
+		if n := kv.Len(tx); n != 1 {
+			t.Fatalf("len = %d, want 1", n)
+		}
+	})
+}
+
+// TestKVOverwrite covers both overwrite paths: in place (fits the
+// block's capacity) and reallocation (grown past it).
+func TestKVOverwrite(t *testing.T) {
+	tm, kv := newKVTM(t)
+	th := tm.Thread(0)
+	defer th.Detach()
+
+	key := []byte("k")
+	th.Atomic(func(tx *core.Tx) {
+		if err := kv.Set(tx, key, []byte("12345678"), 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		// Same word count: must overwrite in place.
+		if err := kv.Set(tx, key, []byte("abc"), 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		v, flags, ok := kv.Get(tx, key)
+		if !ok || !bytes.Equal(v, []byte("abc")) || flags != 2 {
+			t.Fatalf("after shrink: %q, %d, %v", v, flags, ok)
+		}
+		// Grow past capacity: must reallocate and still read back.
+		long := bytes.Repeat([]byte("x"), 100)
+		if err := kv.Set(tx, key, long, 3); err != nil {
+			t.Fatal(err)
+		}
+		v, flags, ok = kv.Get(tx, key)
+		if !ok || !bytes.Equal(v, long) || flags != 3 {
+			t.Fatalf("after grow: %d bytes, %d, %v", len(v), flags, ok)
+		}
+	})
+}
+
+func TestKVIncr(t *testing.T) {
+	tm, kv := newKVTM(t)
+	th := tm.Thread(0)
+	defer th.Detach()
+
+	th.Atomic(func(tx *core.Tx) {
+		if err := kv.Set(tx, []byte("n"), []byte("41"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Set(tx, []byte("s"), []byte("not a number"), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		nv, found, err := kv.Incr(tx, []byte("n"), 1)
+		if err != nil || !found || nv != 42 {
+			t.Fatalf("incr n = %d, %v, %v", nv, found, err)
+		}
+		// Grow across the capacity boundary: "99" -> "100" fits, but a
+		// big delta forces more digits than the block holds.
+		nv, found, err = kv.Incr(tx, []byte("n"), 99999999999999)
+		if err != nil || !found || nv != 42+99999999999999 {
+			t.Fatalf("big incr = %d, %v, %v", nv, found, err)
+		}
+		if _, found, _ := kv.Incr(tx, []byte("missing"), 1); found {
+			t.Fatal("incr on missing key reported found")
+		}
+		if _, _, err := kv.Incr(tx, []byte("s"), 1); err == nil {
+			t.Fatal("incr on non-numeric value succeeded")
+		}
+	})
+	th.Atomic(func(tx *core.Tx) {
+		v, _, ok := kv.Get(tx, []byte("n"))
+		want := fmt.Sprintf("%d", 42+99999999999999)
+		if !ok || string(v) != want {
+			t.Fatalf("n = %q, want %q", v, want)
+		}
+	})
+}
+
+func TestKVKeyLimits(t *testing.T) {
+	tm, kv := newKVTM(t)
+	th := tm.Thread(0)
+	defer th.Detach()
+
+	th.Atomic(func(tx *core.Tx) {
+		if err := kv.Set(tx, nil, []byte("v"), 0); err == nil {
+			t.Fatal("empty key accepted")
+		}
+		long := bytes.Repeat([]byte("k"), 251)
+		if err := kv.Set(tx, long, []byte("v"), 0); err == nil {
+			t.Fatal("251-byte key accepted")
+		}
+		if err := kv.Set(tx, long[:250], []byte("v"), 0); err != nil {
+			t.Fatalf("250-byte key rejected: %v", err)
+		}
+	})
+}
+
+// TestKVManyKeys drives enough keys through one table to exercise
+// bucket chains and the in-place/realloc mix.
+func TestKVManyKeys(t *testing.T) {
+	tm, kv := newKVTM(t)
+	th := tm.Thread(0)
+	defer th.Detach()
+
+	const n = 500
+	for base := 0; base < n; base += 50 {
+		th.Atomic(func(tx *core.Tx) {
+			for i := base; i < base+50; i++ {
+				key := fmt.Appendf(nil, "key-%d", i)
+				val := fmt.Appendf(nil, "value-%d-%s", i, bytes.Repeat([]byte("p"), i%32))
+				if err := kv.Set(tx, key, val, uint32(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	th.Atomic(func(tx *core.Tx) {
+		if got := kv.Len(tx); got != n {
+			t.Fatalf("len = %d, want %d", got, n)
+		}
+		for i := 0; i < n; i += 17 {
+			key := fmt.Appendf(nil, "key-%d", i)
+			want := fmt.Appendf(nil, "value-%d-%s", i, bytes.Repeat([]byte("p"), i%32))
+			v, flags, ok := kv.Get(tx, key)
+			if !ok || !bytes.Equal(v, want) || flags != uint32(i) {
+				t.Fatalf("key-%d = %q, %d, %v; want %q", i, v, flags, ok, want)
+			}
+		}
+	})
+}
