@@ -14,6 +14,11 @@
 //	    durability domain's policy resolves caches and the WPQ into
 //	    the final image), saves -image, and exits — so a kill/restart
 //	    cycle exercises the same recovery path a power loss would.
+//	    With -durable (the default), acked writes are additionally
+//	    journaled to <image>.wal before each acknowledgment, so even
+//	    SIGKILL — which never reaches the image-save path — loses
+//	    nothing the server confirmed. -durable=false drops that
+//	    guarantee (the soak harness's self-test runs it on purpose).
 //
 // Load-simulator mode:
 //
@@ -58,6 +63,7 @@ func main() {
 	deadlineNS := flag.Int64("deadline", 1_000_000, "shed requests older than this, virtual ns; -1 disables")
 	queueDepth := flag.Int("queue", 256, "per-shard request queue depth")
 	heapWords := flag.Uint64("heap", 0, "persistent heap words (0 = default 1<<21); smaller heaps make smaller images")
+	durable := flag.Bool("durable", true, "with -image: journal acked writes to <image>.wal and fsync-barrier every ack, so a process kill loses nothing acknowledged")
 
 	loadsimMode := flag.Bool("loadsim", false, "run the deterministic open-loop load simulator instead of serving TCP")
 	rate := flag.Float64("rate", 2e6, "loadsim: arrivals per virtual second")
@@ -112,9 +118,16 @@ func main() {
 		return
 	}
 
-	st, err := server.OpenOrRecover(*image, server.StoreConfig{
+	scfg := server.StoreConfig{
 		Algo: algo, Domain: domain, Shards: *shards, MaxBatch: *maxBatch, Heap: *heapWords,
-	})
+	}
+	journaled := *durable && *image != ""
+	var st *server.Store
+	if journaled {
+		st, err = server.OpenDurable(*image, scfg)
+	} else {
+		st, err = server.OpenOrRecover(*image, scfg)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -122,12 +135,16 @@ func main() {
 		rep := st.Recovery
 		fmt.Printf("ptmserve: recovered image %s: %d redo replayed, %d undo rolled back, %d blocks swept (%d virtual ns)\n",
 			*image, rep.RedoReplayed, rep.UndoRolledBack, rep.BlocksSwept, rep.DurationNS)
+		if journaled {
+			fmt.Printf("ptmserve: replayed %d journal batches from %s\n", st.WALBatches, server.WALPath(*image))
+		}
 	}
 
 	exec := server.NewExecutor(st, server.ExecConfig{
 		Shards: *shards, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
 		BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS,
-		IdleSleep: 50 * time.Microsecond,
+		IdleSleep:  50 * time.Microsecond,
+		DurableAck: journaled,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -154,6 +171,11 @@ func main() {
 		st.Crash(vt)
 		if err := st.SaveImage(*image); err != nil {
 			fail(err)
+		}
+		if journaled {
+			// Only after the image is durably renamed: the save bumped
+			// the generation, so the journal it replaced is now stale.
+			st.FinishJournal()
 		}
 		fmt.Printf("ptmserve: image saved to %s\n", *image)
 	}

@@ -355,3 +355,67 @@ func TestCounters(t *testing.T) {
 		t.Fatalf("counters = %+v, want stores 2, loads 3, flushes 1", k)
 	}
 }
+
+func TestDrainAllAppliesPendingInOrder(t *testing.T) {
+	d := newDev(t)
+	// Three lines accepted with out-of-order drain times; the observer
+	// must see them sorted by (drainVT, line) and media must hold the
+	// accepted snapshots afterwards.
+	d.Store(LineAddr(3), 33)
+	d.WPQAccept(3, 900)
+	d.Store(LineAddr(1), 11)
+	d.WPQAccept(1, 500)
+	d.Store(LineAddr(2), 22)
+	d.WPQAccept(2, 500)
+	var seen []uint64
+	d.SetMediaObserver(func(ln uint64, payload [WordsPerLine]uint64) {
+		seen = append(seen, ln)
+	})
+	n, maxVT := d.DrainAll()
+	if n != 3 || maxVT != 900 {
+		t.Fatalf("DrainAll = (%d, %d), want (3, 900)", n, maxVT)
+	}
+	want := []uint64{1, 2, 3} // vt 500 line 1, vt 500 line 2, vt 900 line 3
+	for i, ln := range want {
+		if seen[i] != ln {
+			t.Fatalf("observer order %v, want %v", seen, want)
+		}
+	}
+	for ln, v := range map[uint64]uint64{1: 11, 2: 22, 3: 33} {
+		if got := d.MediaLoad(LineAddr(ln)); got != v {
+			t.Fatalf("media line %d = %d, want %d", ln, got, v)
+		}
+	}
+	if d.PendingLines() != 0 {
+		t.Fatalf("pending not cleared: %d", d.PendingLines())
+	}
+	// Idempotent on an empty pending set.
+	if n, _ := d.DrainAll(); n != 0 {
+		t.Fatalf("second DrainAll applied %d entries", n)
+	}
+}
+
+func TestMediaObserverSeesSupersedeCommit(t *testing.T) {
+	d := newDev(t)
+	d.Store(LineAddr(5), 1)
+	d.WPQAccept(5, 100)
+	d.WPQMarkOrdered([]uint64{5})
+	var got []uint64
+	d.SetMediaObserver(func(ln uint64, payload [WordsPerLine]uint64) {
+		got = append(got, payload[0])
+	})
+	// Re-flushing an ordered line commits the fenced snapshot to media
+	// immediately; the observer must see that write.
+	d.Store(LineAddr(5), 2)
+	d.WPQAccept(5, 200)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("observer saw %v, want the fenced payload [1]", got)
+	}
+	// And MediaWriteLine is observed too.
+	var p [WordsPerLine]uint64
+	p[0] = 7
+	d.MediaWriteLine(6, p)
+	if len(got) != 2 || got[1] != 7 {
+		t.Fatalf("observer saw %v after MediaWriteLine, want [1 7]", got)
+	}
+}

@@ -68,6 +68,12 @@ type Request struct {
 // down.
 var ErrDraining = errors.New("server: executor draining")
 
+// ErrDurable marks a write whose transaction committed in simulated
+// memory but whose durable-ack barrier (journal flush) failed: the
+// server cannot promise the write survives a process kill, so it
+// answers SERVER_ERROR instead of acking.
+var ErrDurable = errors.New("server: durable acknowledgment failed")
+
 // ExecConfig parameterizes the executor.
 type ExecConfig struct {
 	Shards     int // worker shards; thread i+1 of the machine drives shard i
@@ -87,6 +93,14 @@ type ExecConfig struct {
 	// the TCP server doesn't spin a core per shard. Must stay 0 under
 	// lockstep: a sleeping thread holds the scheduler floor.
 	IdleSleep time.Duration
+	// DurableAck runs Store.DrainPersist after every batch that
+	// contains a write, before any request in the batch completes: the
+	// batch's persistence traffic reaches simulated media — and the
+	// attached write-ahead journal, if any — before the response goes
+	// out, so an acked write survives a kill of the host process.
+	// Off by default: the barrier adds drain waits to the virtual
+	// timeline, which would shift loadsim's pinned latency curves.
+	DurableAck bool
 }
 
 func (c ExecConfig) withDefaults(st *Store) ExecConfig {
@@ -264,7 +278,18 @@ func (e *Executor) runShard(i int, th *core.Thread) {
 		batch = append(batch[:0], s.pop(e.cfg.MaxBatch, e)...)
 		if len(batch) == 0 {
 			if e.inputsDone.Load() {
-				return
+				// A Submit that landed between the pop above and this load
+				// would be stranded for Drain's ErrDraining sweep even
+				// though it was accepted before shutdown began. The load
+				// happens-after any Submit that preceded InputsDone, so one
+				// final pop is guaranteed to see such a request; only an
+				// empty queue here is safe to abandon.
+				batch = append(batch[:0], s.pop(e.cfg.MaxBatch, e)...)
+				if len(batch) == 0 {
+					return
+				}
+				e.execBatch(s, th, batch)
+				continue
 			}
 			th.Compute(e.cfg.PollNS)
 			if e.cfg.IdleSleep > 0 {
@@ -321,6 +346,24 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, batch []*Request) {
 				}
 			}
 		})
+		if e.cfg.DurableAck {
+			hasWrite := false
+			for _, req := range live {
+				if req.Op != OpGet {
+					hasWrite = true
+					break
+				}
+			}
+			if hasWrite {
+				if err := e.st.DrainPersist(th); err != nil {
+					for _, req := range live {
+						if req.Op != OpGet && req.Err == nil {
+							req.Err = ErrDurable
+						}
+					}
+				}
+			}
+		}
 		end := th.Now()
 		s.lastVT.Store(end)
 		for _, req := range live {

@@ -32,8 +32,10 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
@@ -69,13 +71,19 @@ type StoreConfig struct {
 	// (loadsim sets it; the TCP server leaves it off so executor
 	// shards run concurrently on host cores).
 	Lockstep bool
+	// UnsafeDomain suppresses the NoReserve→ADR promotion below, so a
+	// store can run on a domain with no durable commit point. Only the
+	// soak harness's gate self-test sets it: the point is to prove the
+	// durable-linearizability oracle catches the resulting acked-write
+	// loss.
+	UnsafeDomain bool
 
 	Recorder *obs.Recorder
 	Metrics  *metrics.Registry
 }
 
 func (c StoreConfig) withDefaults() StoreConfig {
-	if c.Domain == durability.NoReserve {
+	if c.Domain == durability.NoReserve && !c.UnsafeDomain {
 		// A serving store needs a durable commit point; under NoReserve
 		// the WPQ — and any commit marker waiting in it — evaporates at
 		// power failure. The zero value therefore means ADR, the
@@ -130,11 +138,21 @@ type Store struct {
 	tm  *core.TM
 	kv  kvstore.KV
 
+	// gen is the image generation this store's media extends; SaveImage
+	// stamps gen+1 into the file and bumps it on success. The write-
+	// ahead journal is bound to a generation so a stale journal can
+	// never be replayed over the wrong base image.
+	gen     uint64
+	wal     *journal
+	walPath string
+
 	// Recovered reports whether this store was reopened from an image
 	// (true) or freshly formatted (false); Recovery holds the
-	// post-crash recovery report in the former case.
-	Recovered bool
-	Recovery  core.RecoveryReport
+	// post-crash recovery report in the former case. WALBatches counts
+	// journal batches replayed on top of the image during open.
+	Recovered  bool
+	Recovery   core.RecoveryReport
+	WALBatches int
 }
 
 // Open formats a fresh store: a new machine, an empty KV table
@@ -174,8 +192,16 @@ func (st *Store) Crash(vt int64) {
 
 // The image file is: magic, a JSON header with the store geometry
 // (so a restart needs no flag agreement), then the raw NVM media
-// image, one little-endian uint64 per word.
-var imageMagic = [8]byte{'P', 'T', 'M', 'K', 'V', 'I', 'M', '1'}
+// image, one little-endian uint64 per word. Version 2 added the body
+// checksum and the generation; version-1 images are rejected as
+// corrupt rather than loaded without verification.
+var imageMagic = [8]byte{'P', 'T', 'M', 'K', 'V', 'I', 'M', '2'}
+
+// ErrCorruptImage tags image files that fail structural or checksum
+// validation — a torn save, a truncated copy, bit rot. OpenOrRecover
+// refuses to load such a file (and refuses to silently reformat over
+// it); test with errors.Is.
+var ErrCorruptImage = errors.New("server: corrupt image")
 
 // imageHeader is the persisted store geometry.
 type imageHeader struct {
@@ -188,6 +214,13 @@ type imageHeader struct {
 	MaxValueBytes int    `json:"max_value_bytes"`
 	MaxBatch      int    `json:"max_batch"`
 	NVMWords      uint64 `json:"nvm_words"`
+	// Generation counts image saves; the write-ahead journal names the
+	// generation it extends.
+	Generation uint64 `json:"generation"`
+	// BodyFNV is the FNV-1a checksum of the raw media bytes that
+	// follow the header, so a torn or bit-rotted body is detected
+	// before recovery runs over garbage.
+	BodyFNV uint64 `json:"body_fnv"`
 }
 
 // SaveImage writes the NVM media image and the store geometry to
@@ -197,6 +230,14 @@ type imageHeader struct {
 func (st *Store) SaveImage(path string) error {
 	dev := st.tm.Bus().Device()
 	nvm := dev.NVMWords()
+	// First pass: checksum the media body (the header carries it, and
+	// the header is written first).
+	var scratch [8]byte
+	sum := uint64(fnvOffset64)
+	for a := memdev.Addr(0); a < memdev.Addr(nvm); a++ {
+		binary.LittleEndian.PutUint64(scratch[:], dev.MediaLoad(a))
+		sum = fnv64(sum, scratch[:])
+	}
 	hdr, err := json.Marshal(imageHeader{
 		Algo:          int(st.cfg.Algo),
 		Domain:        int(st.cfg.Domain),
@@ -207,6 +248,8 @@ func (st *Store) SaveImage(path string) error {
 		MaxValueBytes: st.cfg.MaxValueBytes,
 		MaxBatch:      st.cfg.MaxBatch,
 		NVMWords:      nvm,
+		Generation:    st.gen + 1,
+		BodyFNV:       sum,
 	})
 	if err != nil {
 		return err
@@ -217,7 +260,6 @@ func (st *Store) SaveImage(path string) error {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	var scratch [8]byte
 	w.Write(imageMagic[:])
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(hdr)))
 	w.Write(scratch[:4])
@@ -230,12 +272,37 @@ func (st *Store) SaveImage(path string) error {
 		f.Close()
 		return err
 	}
+	// Flush file contents to stable storage before the rename: renaming
+	// a still-dirty file can expose a new name pointing at unwritten
+	// blocks after a power loss.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
 	// The rename makes image replacement atomic: a crash mid-save
 	// leaves the previous image intact.
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename itself is a directory-entry update, and on a real
+	// filesystem it is not durable until the *directory* is synced: a
+	// crash in the window after rename() returns but before the
+	// directory's metadata reaches the journal can roll the entry back
+	// to the old image — or, for a first save, to no image at all.
+	// POSIX guarantees nothing here without an explicit fsync of the
+	// directory fd.
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		if serr := dir.Sync(); serr != nil {
+			dir.Close()
+			return serr
+		}
+		dir.Close()
+	}
+	st.gen++
+	return nil
 }
 
 // OpenImage rebuilds a store from an image file: a fresh memory
@@ -243,20 +310,28 @@ func (st *Store) SaveImage(path string) error {
 // crash recovery (redo replay / undo rollback / allocator GC) before
 // the KV root is re-attached.
 func OpenImage(path string) (*Store, error) {
+	return openImage(path, "")
+}
+
+// openImage is OpenImage plus optional write-ahead-journal replay:
+// with a non-empty walPath, valid journal batches bound to the image's
+// generation are applied on top of the media bytes before recovery
+// runs — the restart path after a host process kill.
+func openImage(path, walPath string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if len(data) < 12 || [8]byte(data[:8]) != imageMagic {
-		return nil, fmt.Errorf("server: %s is not a ptmserve image", path)
+		return nil, fmt.Errorf("%w: %s is not a ptmserve v2 image", ErrCorruptImage, path)
 	}
 	hlen := int(binary.LittleEndian.Uint32(data[8:12]))
-	if len(data) < 12+hlen {
-		return nil, fmt.Errorf("server: truncated image header in %s", path)
+	if hlen < 0 || len(data) < 12+hlen {
+		return nil, fmt.Errorf("%w: truncated header in %s", ErrCorruptImage, path)
 	}
 	var hdr imageHeader
 	if err := json.Unmarshal(data[12:12+hlen], &hdr); err != nil {
-		return nil, fmt.Errorf("server: bad image header in %s: %w", path, err)
+		return nil, fmt.Errorf("%w: bad header in %s: %v", ErrCorruptImage, path, err)
 	}
 	cfg := StoreConfig{
 		Algo:          core.Algo(hdr.Algo),
@@ -270,7 +345,10 @@ func OpenImage(path string) (*Store, error) {
 	}.withDefaults()
 	body := data[12+hlen:]
 	if uint64(len(body)) != hdr.NVMWords*8 {
-		return nil, fmt.Errorf("server: image body is %d bytes, want %d", len(body), hdr.NVMWords*8)
+		return nil, fmt.Errorf("%w: body is %d bytes, want %d", ErrCorruptImage, len(body), hdr.NVMWords*8)
+	}
+	if sum := fnv64(fnvOffset64, body); sum != hdr.BodyFNV {
+		return nil, fmt.Errorf("%w: body checksum %#x, header says %#x", ErrCorruptImage, sum, hdr.BodyFNV)
 	}
 
 	ccfg := cfg.coreConfig()
@@ -280,7 +358,7 @@ func OpenImage(path string) (*Store, error) {
 	}
 	dev := bus.Device()
 	if dev.NVMWords() != hdr.NVMWords {
-		return nil, fmt.Errorf("server: image NVM geometry %d words does not match config-derived %d", hdr.NVMWords, dev.NVMWords())
+		return nil, fmt.Errorf("%w: NVM geometry %d words does not match config-derived %d", ErrCorruptImage, hdr.NVMWords, dev.NVMWords())
 	}
 	var payload [memdev.WordsPerLine]uint64
 	for ln := uint64(0); ln < hdr.NVMWords/memdev.WordsPerLine; ln++ {
@@ -290,12 +368,21 @@ func OpenImage(path string) (*Store, error) {
 		}
 		dev.MediaWriteLine(ln, payload)
 	}
+	walBatches := 0
+	if walPath != "" {
+		walBatches, err = replayJournal(walPath, hdr.Generation, func(ln uint64, payload [memdev.WordsPerLine]uint64) {
+			dev.MediaWriteLine(ln, payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	tm, rep, err := core.Reopen(bus, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("server: recovery failed: %w", err)
 	}
-	st := &Store{cfg: cfg, tm: tm, Recovered: true, Recovery: rep}
+	st := &Store{cfg: cfg, tm: tm, gen: hdr.Generation, Recovered: true, Recovery: rep, WALBatches: walBatches}
 	th := tm.Thread(0)
 	root := tm.Root(th, kvRootSlot)
 	th.Detach()
@@ -307,7 +394,9 @@ func OpenImage(path string) (*Store, error) {
 }
 
 // OpenOrRecover opens path if it exists, else formats a fresh store
-// with cfg — the single entry point ptmserve uses at startup.
+// with cfg — the single entry point ptmserve uses at startup. A file
+// that exists but fails validation is an error, never silently
+// reformatted (errors.Is(err, ErrCorruptImage) distinguishes it).
 func OpenOrRecover(path string, cfg StoreConfig) (*Store, error) {
 	if path != "" {
 		if _, err := os.Stat(path); err == nil {
@@ -315,6 +404,94 @@ func OpenOrRecover(path string, cfg StoreConfig) (*Store, error) {
 		}
 	}
 	return Open(cfg)
+}
+
+// WALPath names the write-ahead journal that extends the image at
+// path.
+func WALPath(path string) string { return path + ".wal" }
+
+// OpenDurable opens the store whose acknowledged writes survive a kill
+// of the *host process*, not just a simulated power failure: the image
+// (plus any journal bound to its generation) is loaded if present,
+// else a fresh store is formatted and a base image saved immediately
+// — a journal needs a base to extend. The media write-ahead journal is
+// then attached; pair with ExecConfig.DurableAck so every response is
+// backed by journaled media before it is sent.
+func OpenDurable(path string, cfg StoreConfig) (*Store, error) {
+	if path == "" {
+		return nil, fmt.Errorf("server: a durable store needs an image path")
+	}
+	var st *Store
+	if _, err := os.Stat(path); err == nil {
+		st, err = openImage(path, WALPath(path))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st, err = Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Quiesce materializes the formatting transaction's pending WPQ
+		// entries so the base image is complete (equivalent to the media
+		// state an ADR crash would leave, without killing the machine).
+		st.Bus().Quiesce()
+		if err := st.SaveImage(path); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.StartJournal(WALPath(path)); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// StartJournal attaches a media write-ahead journal at path (creating
+// it, or truncating a torn tail if it already extends this store's
+// generation) and wires it to the device's media observer. Call before
+// serving traffic.
+func (st *Store) StartJournal(path string) error {
+	j, err := openJournal(path, st.gen)
+	if err != nil {
+		return err
+	}
+	st.wal, st.walPath = j, path
+	st.tm.Bus().Device().SetMediaObserver(j.record)
+	return nil
+}
+
+// FinishJournal detaches, closes, and removes the journal. Call only
+// after a successful SaveImage: the save bumped the generation, so
+// even a journal file that survives a failed remove would be ignored
+// as stale on the next open.
+func (st *Store) FinishJournal() {
+	if st.wal == nil {
+		return
+	}
+	st.tm.Bus().Device().SetMediaObserver(nil)
+	st.wal.close()
+	os.Remove(st.walPath)
+	st.wal = nil
+}
+
+// DrainPersist is the durable-ack barrier: force every pending WPQ
+// entry onto simulated media, advance the calling shard's clock to the
+// last drain completion (the honest virtual-time cost of waiting), and
+// flush the journal batch to the host file. Only after this may the
+// batch's responses be acknowledged — an acked write is then
+// reconstructible from image + journal even if the process is killed
+// the next instant.
+func (st *Store) DrainPersist(th *core.Thread) error {
+	n, maxVT := st.tm.Bus().Device().DrainAll()
+	if n > 0 {
+		if now := th.Now(); maxVT > now {
+			th.Compute(maxVT - now)
+		}
+	}
+	if st.wal != nil {
+		return st.wal.flush()
+	}
+	return nil
 }
 
 // Bus exposes the memory system (tests, quiesce on clean shutdown).

@@ -1,0 +1,227 @@
+// Package soak drives a live KV service — a real ptmserve process or
+// an in-process Store — through kill/restart cycles under concurrent
+// load, and checks every acknowledged response against a
+// durable-linearizability oracle that spans the restarts.
+//
+// The oracle is adapted from internal/crashcheck's possible-state
+// reasoning: instead of enumerating crash states of a heap image, it
+// tracks, per key, the set of durable states the key may legally be
+// in given the acknowledgments the client actually observed. An acked
+// write collapses the set to one state; an operation whose outcome
+// the client could not learn (connection died after the request may
+// have been sent) widens it — the write may or may not have landed,
+// and both worlds stay live until a later read or acked write pins
+// one. A read, including the verification sweep after a recovery,
+// must return a member of the set; anything else is a
+// durable-linearizability violation: either an acked write was lost
+// across the crash, an unacked write tore (applied partially or
+// resurrected after being refuted), or recovery invented state.
+//
+// Keys are partitioned per client worker, so each key has a single
+// mutator and its model evolves sequentially — the oracle checks
+// durability across crashes, not concurrent interleavings (the
+// executor serializes a key's operations on its shard anyway).
+package soak
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// state is one durable state a key may be in: absent, or present
+// with a numeric value (the workload writes only decimal payloads so
+// every key supports get/set/incr/delete uniformly).
+type state struct {
+	present bool
+	val     uint64
+}
+
+func (s state) String() string {
+	if !s.present {
+		return "absent"
+	}
+	return fmt.Sprintf("%d", s.val)
+}
+
+// maxStates bounds the possible-set. A pile-up of unknown-outcome
+// incrs can grow the set combinatorially; past the bound the model
+// goes wild — checking is suspended (never a false positive) until
+// the next acked write or observation pins the key again.
+const maxStates = 24
+
+// keyModel is the oracle's per-key possible-state set.
+type keyModel struct {
+	possible []state
+	wild     bool
+}
+
+func newKeyModel() *keyModel {
+	return &keyModel{possible: []state{{}}} // a fresh key is durably absent
+}
+
+func (m *keyModel) describe() string {
+	if m.wild {
+		return "wild"
+	}
+	parts := make([]string, len(m.possible))
+	for i, s := range m.possible {
+		parts[i] = s.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// add unions st into the possible set.
+func (m *keyModel) add(st state) {
+	for _, s := range m.possible {
+		if s == st {
+			return
+		}
+	}
+	m.possible = append(m.possible, st)
+	if len(m.possible) > maxStates {
+		m.wild = true
+		m.possible = m.possible[:0]
+	}
+}
+
+// pin collapses the set to exactly st.
+func (m *keyModel) pin(st state) {
+	m.wild = false
+	m.possible = append(m.possible[:0], st)
+}
+
+func (m *keyModel) anyPresent() bool {
+	for _, s := range m.possible {
+		if s.present {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *keyModel) anyAbsent() bool {
+	for _, s := range m.possible {
+		if !s.present {
+			return true
+		}
+	}
+	return false
+}
+
+// ackedSet records a set whose STORED reply the client received: the
+// key is now durably that value, whatever it was before.
+func (m *keyModel) ackedSet(v uint64) {
+	m.pin(state{present: true, val: v})
+}
+
+// uncertainSet records a set whose outcome is unknown. The write is
+// idempotent, so any number of unknown attempts adds exactly one new
+// possible state.
+func (m *keyModel) uncertainSet(v uint64) {
+	if m.wild {
+		return
+	}
+	m.add(state{present: true, val: v})
+}
+
+// ackedDelete records a DELETED/NOT_FOUND reply. The reply's Found
+// bit is itself an observation that must be consistent with the set.
+func (m *keyModel) ackedDelete(found bool) string {
+	if !m.wild {
+		if found && !m.anyPresent() {
+			return fmt.Sprintf("delete acked DELETED but no possible state is present (possible %s)", m.describe())
+		}
+		if !found && !m.anyAbsent() {
+			return fmt.Sprintf("delete acked NOT_FOUND but every possible state is present (possible %s)", m.describe())
+		}
+	}
+	m.pin(state{})
+	return ""
+}
+
+// uncertainDelete records a delete whose outcome is unknown: the key
+// may now additionally be absent.
+func (m *keyModel) uncertainDelete() {
+	if m.wild {
+		return
+	}
+	m.add(state{})
+}
+
+// ackedIncr records an incr reply. A returned value is a
+// simultaneous observation and mutation: some possible state must
+// explain it, and the key is then pinned at the result.
+func (m *keyModel) ackedIncr(found bool, newVal, delta uint64) string {
+	if !found {
+		if !m.wild && !m.anyAbsent() {
+			return fmt.Sprintf("incr acked NOT_FOUND but every possible state is present (possible %s)", m.describe())
+		}
+		m.pin(state{})
+		return ""
+	}
+	if !m.wild {
+		ok := false
+		for _, s := range m.possible {
+			if s.present && s.val+delta == newVal {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Sprintf("incr +%d acked %d but no possible state explains it (possible %s)", delta, newVal, m.describe())
+		}
+	}
+	m.pin(state{present: true, val: newVal})
+	return ""
+}
+
+// uncertainIncr records n wire attempts of incr +delta whose
+// outcomes are unknown. Unlike set, incr is not idempotent: each
+// attempt independently may have applied, so every present state
+// fans out into up to n additional successors.
+func (m *keyModel) uncertainIncr(delta uint64, n int) {
+	if m.wild {
+		return
+	}
+	base := append([]state(nil), m.possible...)
+	for _, s := range base {
+		if !s.present {
+			continue
+		}
+		v := s.val
+		for k := 0; k < n; k++ {
+			v += delta
+			m.add(state{present: true, val: v})
+			if m.wild {
+				return
+			}
+		}
+	}
+}
+
+// observe checks a read (a get, or the post-recovery verification
+// sweep) against the possible set and pins the observed state. The
+// returned string is empty when consistent, else a human-readable
+// violation.
+func (m *keyModel) observe(found bool, val uint64) string {
+	got := state{present: found, val: val}
+	if !found {
+		got.val = 0
+	}
+	if !m.wild {
+		member := false
+		for _, s := range m.possible {
+			if s == got {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return fmt.Sprintf("read observed %s, not a possible durable state (possible %s)", got, m.describe())
+		}
+	}
+	m.pin(got)
+	return ""
+}

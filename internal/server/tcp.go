@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -109,7 +110,16 @@ func (srv *Server) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		// Fields of a whitespace-only line is empty even though the line
+		// is not; dispatching would index fields[0].
 		fields := bytes.Fields(line)
+		if len(fields) == 0 {
+			fmt.Fprintf(w, "ERROR\r\n")
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
+		}
 		quit, err := srv.dispatch(fields, r, w)
 		if err != nil {
 			return // connection-fatal: malformed payload framing
@@ -161,8 +171,26 @@ func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (
 			return false, nil
 		}
 		noreply := len(fields) >= 6 && string(fields[5]) == "noreply"
+		if nbytes > srv.st.cfg.MaxValueBytes {
+			// The declared length is attacker-controlled: consume the
+			// payload to keep the stream parseable, but never allocate
+			// for it (a hostile "set k 0 0 1099511627776" must not OOM
+			// the server). The response goes out first so a client that
+			// streams slowly still learns the rejection.
+			if !noreply {
+				fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
+			}
+			w.Flush()
+			if _, err := io.CopyN(io.Discard, r, int64(nbytes)+2); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
 		// The payload follows regardless of validity; it must be
-		// consumed to keep the stream parseable.
+		// consumed to keep the stream parseable. A disconnect before the
+		// full payload+CRLF arrives returns err and drops the connection
+		// *without submitting* — a half-written body can never reach a
+		// shard queue, so nothing is ever acked-but-unsubmitted.
 		payload := make([]byte, nbytes+2)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return false, err
@@ -172,12 +200,6 @@ func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (
 			return false, nil
 		}
 		val := payload[:nbytes]
-		if nbytes > srv.st.cfg.MaxValueBytes {
-			if !noreply {
-				fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
-			}
-			return false, nil
-		}
 		req := &Request{Op: OpSet, Key: fields[1], Value: val, Flags: uint32(flags), Done: make(chan struct{})}
 		if !srv.submitWait(req) {
 			if !noreply {
@@ -188,9 +210,12 @@ func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (
 		if noreply {
 			return false, nil
 		}
-		if req.Err != nil {
+		switch {
+		case errors.Is(req.Err, ErrDurable):
+			fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
+		case req.Err != nil:
 			fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", req.Err)
-		} else {
+		default:
 			fmt.Fprintf(w, "STORED\r\n")
 		}
 
@@ -210,9 +235,12 @@ func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (
 		if noreply {
 			return false, nil
 		}
-		if req.Found {
+		switch {
+		case errors.Is(req.Err, ErrDurable):
+			fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
+		case req.Found:
 			fmt.Fprintf(w, "DELETED\r\n")
-		} else {
+		default:
 			fmt.Fprintf(w, "NOT_FOUND\r\n")
 		}
 
@@ -232,6 +260,8 @@ func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (
 			return false, nil
 		}
 		switch {
+		case errors.Is(req.Err, ErrDurable):
+			fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
 		case req.Err != nil:
 			fmt.Fprintf(w, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
 		case !req.Found:
