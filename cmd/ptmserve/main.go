@@ -29,10 +29,20 @@
 //	    batch size. Identical flags produce byte-identical output on
 //	    any machine — CI pins the bytes.
 //
+// Rate-sweep mode:
+//
+//	ptmserve -ratesweep 250000,1000000,6000000 -static 1:2000,32:16384
+//	    Race the adaptive group-commit controller against static
+//	    (batch, window) operating points across a ladder of offered
+//	    rates, printing the latency-knee table; -sweepjson writes the
+//	    BENCH_9 artifact CI compares byte-for-byte. -jobs runs sweep
+//	    cells concurrently with identical output at any level.
+//
 // Shared knobs: -algo redo|undo|htm, -domain ADR|eADR|..., -shards,
 // -maxbatch, -window (batch window ns), -deadline (shed deadline ns),
-// -queue (per-shard depth). See docs/SERVING.md for the protocol
-// subset and the batching design.
+// -queue (per-shard depth), -adaptive plus -adapt-* controller bounds
+// and gains. See docs/SERVING.md for the protocol subset, the
+// pipelined connection design, and the controller.
 package main
 
 import (
@@ -65,6 +75,15 @@ func main() {
 	heapWords := flag.Uint64("heap", 0, "persistent heap words (0 = default 1<<21); smaller heaps make smaller images")
 	durable := flag.Bool("durable", true, "with -image: journal acked writes to <image>.wal and fsync-barrier every ack, so a process kill loses nothing acknowledged")
 
+	adaptive := flag.Bool("adaptive", false, "drive each shard's (batch cap, window) with the AIMD group-commit controller; -maxbatch/-window become the starting point")
+	adaptMaxBatch := flag.Int("adapt-maxbatch", 32, "adaptive: controller upper batch-cap bound (clamped to the store's log sizing)")
+	adaptMinBatch := flag.Int("adapt-minbatch", 1, "adaptive: controller lower batch-cap bound")
+	adaptMaxWindow := flag.Int64("adapt-maxwindow", 16384, "adaptive: controller upper group-commit window bound, virtual ns")
+	adaptMinWindow := flag.Int64("adapt-minwindow", 0, "adaptive: controller lower group-commit window bound, virtual ns")
+	adaptInterval := flag.Int64("adapt-interval", 8192, "adaptive: controller evaluation interval, virtual ns")
+	adaptBatchStep := flag.Int("adapt-batchstep", 4, "adaptive: additive batch-cap increase per pressured step")
+	adaptWindowStep := flag.Int64("adapt-windowstep", 1024, "adaptive: additive window increase per pressured step, virtual ns")
+
 	loadsimMode := flag.Bool("loadsim", false, "run the deterministic open-loop load simulator instead of serving TCP")
 	rate := flag.Float64("rate", 2e6, "loadsim: arrivals per virtual second")
 	requests := flag.Int("requests", 20000, "loadsim: arrivals to generate")
@@ -72,7 +91,13 @@ func main() {
 	valueBytes := flag.Int("value", 64, "loadsim: value size in bytes")
 	setPct := flag.Int("sets", 50, "loadsim: percentage of sets in the mix")
 	seed := flag.Uint64("seed", 1, "loadsim: arrival-process seed")
+	warmup := flag.Int("warmup", 0, "loadsim: initial arrivals excluded from latency percentiles")
 	batches := flag.String("batches", "1,8", "loadsim: comma-separated batch sizes to sweep")
+
+	rateSweep := flag.String("ratesweep", "", "loadsim: comma-separated offered rates; sweep adaptive vs -static points across them and print the latency-knee table")
+	statics := flag.String("static", "1:2000,8:2000,32:16384", "ratesweep: static batch:windowNS operating points to race the controller against")
+	sweepJSON := flag.String("sweepjson", "", "ratesweep: also write the BENCH_9-style JSON artifact to this path")
+	jobs := flag.Int("jobs", 1, "ratesweep: concurrent sweep cells (each cell is an independent lockstep machine; output is identical at any -jobs)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -96,6 +121,54 @@ func main() {
 		fail(err)
 	}
 
+	ctrl := server.CtrlConfig{
+		MinBatch:       *adaptMinBatch,
+		MaxBatch:       *adaptMaxBatch,
+		MinWindowNS:    *adaptMinWindow,
+		MaxWindowNS:    *adaptMaxWindow,
+		EvalIntervalNS: *adaptInterval,
+		BatchStep:      *adaptBatchStep,
+		WindowStepNS:   *adaptWindowStep,
+	}
+
+	if *rateSweep != "" {
+		rates, err := loadsim.ParseRates(*rateSweep)
+		if err != nil {
+			fail(err)
+		}
+		pts, err := loadsim.ParseStatics(*statics)
+		if err != nil {
+			fail(err)
+		}
+		window := *windowNS
+		if window < 0 {
+			window = 0
+		}
+		sw, err := loadsim.RunSweep(loadsim.SweepConfig{
+			Base: loadsim.Config{
+				Algo: algo, Domain: domain, Shards: *shards,
+				Keys: *keys, ValueBytes: *valueBytes, SetPercent: *setPct,
+				Requests: *requests, Seed: *seed, Warmup: *warmup,
+				DeadlineNS: *deadlineNS, QueueDepth: *queueDepth,
+				Ctrl: ctrl,
+			},
+			Rates:   rates,
+			Statics: pts,
+			Start:   loadsim.StaticPoint{MaxBatch: *maxBatch, WindowNS: window},
+			Jobs:    *jobs,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(loadsim.SweepReport(sw))
+		if *sweepJSON != "" {
+			if err := os.WriteFile(*sweepJSON, loadsim.BenchJSON(sw), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+
 	if *loadsimMode {
 		var sizes []int
 		for _, f := range strings.Split(*batches, ",") {
@@ -108,8 +181,9 @@ func main() {
 		results, err := loadsim.Curve(loadsim.Config{
 			Algo: algo, Domain: domain, Shards: *shards,
 			Keys: *keys, ValueBytes: *valueBytes, SetPercent: *setPct,
-			Rate: *rate, Requests: *requests, Seed: *seed,
+			Rate: *rate, Requests: *requests, Seed: *seed, Warmup: *warmup,
 			BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS, QueueDepth: *queueDepth,
+			Adaptive: *adaptive, Ctrl: ctrl,
 		}, sizes)
 		if err != nil {
 			fail(err)
@@ -145,14 +219,19 @@ func main() {
 		BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS,
 		IdleSleep:  50 * time.Microsecond,
 		DurableAck: journaled,
+		Adaptive:   *adaptive, Ctrl: ctrl,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fail(err)
 	}
 	srv := server.Serve(st, exec, ln)
-	fmt.Printf("ptmserve: serving on %s (%s/%s, %d shards, batch<=%d)\n",
-		ln.Addr(), *algoName, domain, *shards, *maxBatch)
+	mode := "static"
+	if *adaptive {
+		mode = "adaptive"
+	}
+	fmt.Printf("ptmserve: serving on %s (%s/%s, %d shards, batch<=%d, %s)\n",
+		ln.Addr(), *algoName, domain, *shards, exec.Config().MaxBatch, mode)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

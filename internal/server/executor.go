@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,7 +24,9 @@ import (
 // keeps batches full and p99 latency drops; at low load the window
 // expires with a batch of one and latency is unchanged. Shards
 // partition the keyspace by key hash so batches never conflict and
-// commit in parallel.
+// commit in parallel. With Adaptive set, each shard's (cap, window)
+// pair is driven by the AIMD controller in controller.go instead of
+// staying pinned at the configured values.
 
 // Op identifies one KV operation.
 type Op uint8
@@ -49,6 +52,12 @@ type Request struct {
 	// the target shard's clock when zero; loadsim pre-stamps it from
 	// the generator thread's clock.
 	EnqVT int64
+
+	// Warmup excludes this request from the latency histograms (it
+	// still executes, counts as executed, and can shed). Loadsim sets
+	// it on ramp-up arrivals so percentile comparisons measure steady
+	// state, the same warmup exclusion the harness applies.
+	Warmup bool
 
 	// Done is closed when the request completes (execution, shed, or
 	// drain sweep). Submitters that need the result must set it; a nil
@@ -79,14 +88,18 @@ type ExecConfig struct {
 	Shards     int // worker shards; thread i+1 of the machine drives shard i
 	QueueDepth int // per-shard bounded queue; 0 selects 256
 	// MaxBatch caps ops coalesced into one transaction; 0 selects the
-	// store's MaxBatch. 1 disables coalescing (the baseline).
+	// store's MaxBatch. 1 disables coalescing (the baseline). Under
+	// Adaptive it is the starting batch cap, and is raised to the
+	// controller's upper bound for slice sizing.
 	MaxBatch int
 	// BatchWindowNS is how long a shard waits, in virtual ns, to fill
 	// a batch after its first request; 0 selects 2000 (2 µs).
 	// Negative disables the wait (batch = whatever is queued now).
+	// Under Adaptive it is the starting window.
 	BatchWindowNS int64
-	// DeadlineNS sheds requests older than this at execution time;
-	// 0 selects 1_000_000 (1 ms). Negative disables shedding.
+	// DeadlineNS sheds requests older than this at pop time — before
+	// they consume a batch slot; 0 selects 1_000_000 (1 ms). Negative
+	// disables shedding.
 	DeadlineNS int64
 	PollNS     int64 // idle poll quantum in virtual ns; 0 selects 200
 	// IdleSleep, when positive, adds a host-time sleep to idle polls so
@@ -101,6 +114,17 @@ type ExecConfig struct {
 	// Off by default: the barrier adds drain waits to the virtual
 	// timeline, which would shift loadsim's pinned latency curves.
 	DurableAck bool
+	// Adaptive hands each shard's (batch cap, window) pair to the
+	// per-shard AIMD controller (controller.go), bounded and paced by
+	// Ctrl. MaxBatch/BatchWindowNS become the starting operating
+	// point.
+	Adaptive bool
+	Ctrl     CtrlConfig
+
+	// The static operating point before Adaptive raised MaxBatch to
+	// the controller bound — the controller's start values.
+	startCap    int
+	startWindow int64
 }
 
 func (c ExecConfig) withDefaults(st *Store) ExecConfig {
@@ -125,6 +149,20 @@ func (c ExecConfig) withDefaults(st *Store) ExecConfig {
 	if c.PollNS <= 0 {
 		c.PollNS = 200
 	}
+	if c.Adaptive {
+		c.startCap = c.MaxBatch
+		c.startWindow = c.BatchWindowNS
+		if c.startWindow < 0 {
+			c.startWindow = 0
+		}
+		c.Ctrl = c.Ctrl.withDefaults(c.MaxBatch)
+		if c.Ctrl.MaxBatch > st.cfg.MaxBatch {
+			c.Ctrl.MaxBatch = st.cfg.MaxBatch // log sizing bounds the cap too
+		}
+		if c.MaxBatch < c.Ctrl.MaxBatch {
+			c.MaxBatch = c.Ctrl.MaxBatch // slice capacity for the largest batch
+		}
+	}
 	return c
 }
 
@@ -137,10 +175,12 @@ type shard struct {
 
 	lastVT atomic.Int64 // the shard thread's clock, for Submit stamping
 
+	ctrl *ctrl // adaptive (cap, window) controller; nil when static
+
 	latency    stats.Histogram // enqueue→completion, virtual ns
 	batchSizes stats.Histogram
 	executed   int64
-	shed       int64
+	shed       atomic.Int64 // per-shard deadline sheds (stats reads it live)
 }
 
 // Executor shards the store's keyspace and drains each shard's queue
@@ -173,6 +213,9 @@ func NewExecutor(st *Store, cfg ExecConfig) *Executor {
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{}
+		if cfg.Adaptive {
+			e.shards[i].ctrl = newCtrl(cfg.Ctrl, cfg.startCap, cfg.startWindow, cfg.DeadlineNS)
+		}
 	}
 	e.wg.Add(cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
@@ -219,19 +262,29 @@ func (e *Executor) Submit(req *Request) bool {
 	return true
 }
 
-// pop removes up to max requests from shard s.
-func (s *shard) pop(max int, e *Executor) []*Request {
+// popLive removes queued requests from shard s until it has gathered
+// up to max live ones, shedding any that aged past deadline *at pop
+// time* — an expired request completes as shed right here and never
+// consumes a batch slot. It appends the live requests to *out and
+// reports the backlog observed before popping (the controller's
+// queue-depth signal) plus the sheds performed.
+func (s *shard) popLive(e *Executor, max int, now, deadline int64, out *[]*Request) (backlog, sheds int) {
 	s.mu.Lock()
-	n := len(s.queue) - s.head
-	if n == 0 {
-		s.mu.Unlock()
-		return nil
+	backlog = len(s.queue) - s.head
+	taken, live := 0, 0
+	for s.head < len(s.queue) && live < max {
+		req := s.queue[s.head]
+		s.head++
+		taken++
+		if deadline > 0 && now-req.EnqVT > deadline {
+			req.Shed = true
+			sheds++
+			finish(req)
+			continue
+		}
+		*out = append(*out, req)
+		live++
 	}
-	if n > max {
-		n = max
-	}
-	out := s.queue[s.head : s.head+n]
-	s.head += n
 	if s.head == len(s.queue) {
 		// Reuse the backing array once drained; keeps steady state
 		// allocation-free.
@@ -239,8 +292,14 @@ func (s *shard) pop(max int, e *Executor) []*Request {
 		s.head = 0
 	}
 	s.mu.Unlock()
-	e.queued.Add(int64(-n))
-	return out
+	if taken > 0 {
+		e.queued.Add(int64(-taken))
+	}
+	if sheds > 0 {
+		s.shed.Add(int64(sheds))
+		e.met.Add(metrics.CtrSrvShed, int64(sheds))
+	}
+	return backlog, sheds
 }
 
 // finish completes req.
@@ -250,10 +309,11 @@ func finish(req *Request) {
 	}
 }
 
-// runShard is one shard worker: poll, assemble a batch, shed the
-// overdue, execute the rest in one transaction. It must keep moving
-// virtual time (Compute) whenever idle so the other threads of the
-// windowed engine never wait on it.
+// runShard is one shard worker: poll, assemble a batch (shedding the
+// overdue at pop time), execute the live requests in one transaction,
+// and let the controller re-evaluate the operating point. It must
+// keep moving virtual time (Compute) whenever idle so the other
+// threads of the windowed engine never wait on it.
 func (e *Executor) runShard(i int, th *core.Thread) {
 	defer e.wg.Done()
 	defer th.Detach()
@@ -275,7 +335,15 @@ func (e *Executor) runShard(i int, th *core.Thread) {
 	batch := make([]*Request, 0, e.cfg.MaxBatch)
 	for {
 		s.lastVT.Store(th.Now())
-		batch = append(batch[:0], s.pop(e.cfg.MaxBatch, e)...)
+		cap, window := e.cfg.MaxBatch, e.cfg.BatchWindowNS
+		if s.ctrl != nil {
+			cap, window = s.ctrl.params()
+		}
+		batch = batch[:0]
+		backlog, sheds := s.popLive(e, cap, th.Now(), e.cfg.DeadlineNS, &batch)
+		if s.ctrl != nil {
+			s.ctrl.observePop(backlog, sheds)
+		}
 		if len(batch) == 0 {
 			if e.inputsDone.Load() {
 				// A Submit that landed between the pop above and this load
@@ -284,13 +352,15 @@ func (e *Executor) runShard(i int, th *core.Thread) {
 				// happens-after any Submit that preceded InputsDone, so one
 				// final pop is guaranteed to see such a request; only an
 				// empty queue here is safe to abandon.
-				batch = append(batch[:0], s.pop(e.cfg.MaxBatch, e)...)
+				s.popLive(e, cap, th.Now(), e.cfg.DeadlineNS, &batch)
 				if len(batch) == 0 {
 					return
 				}
 				e.execBatch(s, th, batch)
+				e.ctrlStep(s, th)
 				continue
 			}
+			e.ctrlStep(s, th)
 			th.Compute(e.cfg.PollNS)
 			if e.cfg.IdleSleep > 0 {
 				time.Sleep(e.cfg.IdleSleep)
@@ -298,36 +368,54 @@ func (e *Executor) runShard(i int, th *core.Thread) {
 			continue
 		}
 		// Group commit: wait out the batch window for stragglers.
-		if e.cfg.BatchWindowNS > 0 && len(batch) < e.cfg.MaxBatch {
-			deadline := th.Now() + e.cfg.BatchWindowNS
-			for len(batch) < e.cfg.MaxBatch && th.Now() < deadline {
-				more := s.pop(e.cfg.MaxBatch-len(batch), e)
-				if len(more) == 0 {
+		if window > 0 && len(batch) < cap {
+			deadline := th.Now() + window
+			for len(batch) < cap && th.Now() < deadline {
+				before := len(batch)
+				_, sheds := s.popLive(e, cap-len(batch), th.Now(), e.cfg.DeadlineNS, &batch)
+				if s.ctrl != nil && sheds > 0 {
+					s.ctrl.observeSheds(sheds)
+				}
+				if len(batch) == before {
 					th.Compute(e.cfg.PollNS)
 					continue
 				}
-				batch = append(batch, more...)
 			}
 		}
 		e.execBatch(s, th, batch)
+		e.ctrlStep(s, th)
 	}
 }
 
-// execBatch sheds overdue requests, runs the rest in one transaction,
-// and completes everything.
-func (e *Executor) execBatch(s *shard, th *core.Thread, batch []*Request) {
-	now := th.Now()
-	live := batch[:0]
-	for _, req := range batch {
-		if e.cfg.DeadlineNS > 0 && now-req.EnqVT > e.cfg.DeadlineNS {
-			req.Shed = true
-			s.shed++
-			e.met.Add(metrics.CtrSrvShed, 1)
-			finish(req)
-			continue
-		}
-		live = append(live, req)
+// ctrlStep lets the shard's controller evaluate, and mirrors the step
+// into the metrics registry and the obs counter tracks. Pure
+// accounting: no virtual time moves here.
+func (e *Executor) ctrlStep(s *shard, th *core.Thread) {
+	if s.ctrl == nil {
+		return
 	}
+	stepped, dir := s.ctrl.maybeStep(th.Now())
+	if !stepped {
+		return
+	}
+	e.met.Add(metrics.CtrSrvCtrlSteps, 1)
+	switch {
+	case dir > 0:
+		e.met.Add(metrics.CtrSrvCtrlUp, 1)
+	case dir < 0:
+		e.met.Add(metrics.CtrSrvCtrlDown, 1)
+	}
+	if e.rec.Tracing() {
+		cap, window := s.ctrl.params()
+		now := th.Now()
+		e.rec.CountShared(obs.TrackServerBatchCap, now, float64(cap))
+		e.rec.CountShared(obs.TrackServerWindow, now, float64(window))
+	}
+}
+
+// execBatch runs the live requests in one transaction and completes
+// everything. Deadline shedding already happened at pop time.
+func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 	if len(live) > 0 {
 		kv := e.st.kv
 		th.Atomic(func(tx *core.Tx) {
@@ -366,12 +454,22 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, batch []*Request) {
 		}
 		end := th.Now()
 		s.lastVT.Store(end)
+		var maxLat int64
 		for _, req := range live {
-			s.latency.Record(end - req.EnqVT)
+			lat := end - req.EnqVT
+			if lat > maxLat {
+				maxLat = lat
+			}
+			if !req.Warmup {
+				s.latency.Record(lat)
+			}
 			finish(req)
 		}
 		s.executed += int64(len(live))
 		s.batchSizes.Record(int64(len(live)))
+		if s.ctrl != nil {
+			s.ctrl.observeBatch(len(live), maxLat)
+		}
 		e.met.Add(metrics.CtrSrvBatches, 1)
 		e.met.Add(metrics.CtrSrvBatchedOps, int64(len(live)))
 	}
@@ -384,6 +482,45 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, batch []*Request) {
 // drain, the slowest shard's clock bounds the run's virtual elapsed
 // time.
 func (e *Executor) ShardVT(i int) int64 { return e.shards[i].lastVT.Load() }
+
+// ShardCtrl reports shard i's live adaptive operating point and step
+// count. ok is false for a static executor.
+func (e *Executor) ShardCtrl(i int) (cap int, windowNS int64, steps int64, ok bool) {
+	c := e.shards[i].ctrl
+	if c == nil {
+		return 0, 0, 0, false
+	}
+	cap, windowNS = c.params()
+	return cap, windowNS, c.steps.Load(), true
+}
+
+// ShardShed reports shard i's deadline-shed count so far.
+func (e *Executor) ShardShed(i int) int64 { return e.shards[i].shed.Load() }
+
+// CtrlTrace returns shard i's controller trace (empty unless
+// Ctrl.Trace was set). Call only when the workers are quiescent.
+func (e *Executor) CtrlTrace(i int) []CtrlStep {
+	if c := e.shards[i].ctrl; c != nil {
+		return c.trace
+	}
+	return nil
+}
+
+// CtrlTraceFNV folds every shard's controller trace, in shard order,
+// into one hash — the determinism fingerprint loadsim pins. Call only
+// when the workers are quiescent.
+func (e *Executor) CtrlTraceFNV() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range e.shards {
+		sum := TraceFNV(e.CtrlTrace(i))
+		for j := range b {
+			b[j] = byte(sum >> (8 * j))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
 
 // InputsDone tells the workers no further Submit will arrive; each
 // exits once its queue is empty. Used by loadsim, where the run ends
@@ -401,7 +538,9 @@ func (e *Executor) Drain() {
 	// The workers exit when they see an empty queue, but a Submit
 	// racing with shutdown can land an entry after that look; sweep it.
 	for _, s := range e.shards {
-		for _, req := range s.pop(1<<31-1, e) {
+		var leftover []*Request
+		s.popLive(e, 1<<31-1, 0, -1, &leftover)
+		for _, req := range leftover {
 			req.Err = ErrDraining
 			finish(req)
 		}
@@ -413,6 +552,8 @@ type ExecStats struct {
 	Executed   int64
 	Shed       int64
 	Queued     int64
+	ShardShed  []int64         // per-shard deadline sheds
+	CtrlSteps  int64           // controller evaluations (0 when static)
 	Latency    stats.Histogram // merged enqueue→completion latency
 	BatchSizes stats.Histogram
 }
@@ -422,9 +563,14 @@ type ExecStats struct {
 func (e *Executor) Stats() ExecStats {
 	var out ExecStats
 	out.Queued = e.queued.Load()
-	for _, s := range e.shards {
+	out.ShardShed = make([]int64, len(e.shards))
+	for i, s := range e.shards {
 		out.Executed += s.executed
-		out.Shed += s.shed
+		out.ShardShed[i] = s.shed.Load()
+		out.Shed += out.ShardShed[i]
+		if s.ctrl != nil {
+			out.CtrlSteps += s.ctrl.steps.Load()
+		}
 		out.Latency.Merge(&s.latency)
 		out.BatchSizes.Merge(&s.batchSizes)
 	}

@@ -46,6 +46,19 @@ type Config struct {
 	BatchWindowNS int64 // group-commit window; 0 selects 2000
 	DeadlineNS    int64 // shedding deadline; 0 selects 1ms
 	QueueDepth    int   // per-shard queue; 0 selects 256
+
+	// Adaptive hands each shard's (cap, window) to the AIMD controller,
+	// with MaxBatch/BatchWindowNS as the starting operating point and
+	// Ctrl supplying bounds and gains. The controller trace is always
+	// retained so the run's CtrlTraceFNV fingerprint can be pinned.
+	Adaptive bool
+	Ctrl     server.CtrlConfig
+
+	// Warmup marks the first N arrivals warmup: they execute and count
+	// as executed, but stay out of the latency percentiles, so an
+	// adaptive run's convergence ramp does not pollute its steady-state
+	// p99. Applied identically to static runs for a fair comparison.
+	Warmup int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,11 +96,14 @@ type Result struct {
 	Shed     int64 // deadline-shed after queueing
 	Rejected int64 // refused at admission (queue full)
 
-	P50, P90, P99 int64   // enqueue→completion latency, virtual ns
+	P50, P90, P99 int64   // enqueue→completion latency, virtual ns (post-warmup)
 	MeanBatch     float64 // average coalesced batch size
 	Batches       int64
 	ElapsedNS     int64   // virtual time from first arrival to drain
 	Throughput    float64 // executed requests per virtual second
+
+	CtrlSteps    int64  // controller evaluations across shards (0 when static)
+	CtrlTraceFNV uint64 // determinism fingerprint of the controller traces
 
 	Latency stats.Histogram
 }
@@ -95,11 +111,15 @@ type Result struct {
 // Run executes one deterministic open-loop experiment.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	logBound := maxInt(cfg.MaxBatch, 8) // size the log for the largest sweep point
+	if cfg.Adaptive && cfg.Ctrl.MaxBatch > logBound {
+		logBound = cfg.Ctrl.MaxBatch // the controller may grow batches to its bound
+	}
 	st, err := server.Open(server.StoreConfig{
 		Algo:     cfg.Algo,
 		Domain:   cfg.Domain,
 		Shards:   cfg.Shards,
-		MaxBatch: maxInt(cfg.MaxBatch, 8), // size the log for the largest sweep point
+		MaxBatch: logBound,
 		Lockstep: true,
 	})
 	if err != nil {
@@ -124,12 +144,16 @@ func Run(cfg Config) (Result, error) {
 		})
 	}
 
+	ctrl := cfg.Ctrl
+	ctrl.Trace = true
 	exec := server.NewExecutor(st, server.ExecConfig{
 		Shards:        cfg.Shards,
 		QueueDepth:    cfg.QueueDepth,
 		MaxBatch:      cfg.MaxBatch,
 		BatchWindowNS: cfg.BatchWindowNS,
 		DeadlineNS:    cfg.DeadlineNS,
+		Adaptive:      cfg.Adaptive,
+		Ctrl:          ctrl,
 	})
 
 	// The open-loop generator: arrivals with seeded integer gaps,
@@ -146,6 +170,7 @@ func Run(cfg Config) (Result, error) {
 	for i := 0; i < cfg.Requests; i++ {
 		th0.Compute(int64(rng.Uint64n(uint64(2*meanGap))) + 1)
 		req := &reqs[i]
+		req.Warmup = i < cfg.Warmup
 		k := int(rng.Uint64n(uint64(cfg.Keys)))
 		req.Key = keyBytes(k)
 		if int(rng.Uint64n(100)) < cfg.SetPercent {
@@ -167,15 +192,19 @@ func Run(cfg Config) (Result, error) {
 
 	es := exec.Stats()
 	res := Result{
-		Cfg:      cfg,
-		Executed: es.Executed,
-		Shed:     es.Shed,
-		Rejected: rejected,
-		P50:      es.Latency.P50(),
-		P90:      es.Latency.P90(),
-		P99:      es.Latency.P99(),
-		Batches:  es.BatchSizes.Count(),
-		Latency:  es.Latency,
+		Cfg:       cfg,
+		Executed:  es.Executed,
+		Shed:      es.Shed,
+		Rejected:  rejected,
+		P50:       es.Latency.P50(),
+		P90:       es.Latency.P90(),
+		P99:       es.Latency.P99(),
+		Batches:   es.BatchSizes.Count(),
+		CtrlSteps: es.CtrlSteps,
+		Latency:   es.Latency,
+	}
+	if cfg.Adaptive {
+		res.CtrlTraceFNV = exec.CtrlTraceFNV()
 	}
 	if res.Batches > 0 {
 		res.MeanBatch = float64(es.Executed) / float64(res.Batches)

@@ -16,10 +16,36 @@ import (
 // The TCP frontend speaks the memcached text protocol subset the
 // paper's serving experiment exercises: get, set, delete, incr, stats,
 // quit. Connection goroutines are ordinary host goroutines — they
-// never touch the simulated machine directly. Each parsed command
-// becomes a Request submitted to the executor, and the goroutine
-// blocks on the request's Done channel while the simulated shard
-// thread executes it in virtual time.
+// never touch the simulated machine directly.
+//
+// Each connection is *pipelined*: a reader goroutine parses ahead,
+// submitting every parsed command to the executor immediately, while a
+// writer goroutine renders responses strictly in command order (FIFO
+// per connection, as the memcached protocol requires). A single
+// client that writes a burst of commands therefore has many requests
+// in flight at once — which is what lets one connection fill
+// group-commit batches; the old parse→submit→block-per-command loop
+// could never present more than one request to a shard at a time.
+// Multi-key gets fan out the same way: every key's request is
+// submitted to its shard before the first response is awaited, so
+// cross-shard reads proceed concurrently and the replies are gathered
+// back in key order.
+
+// maxPipeline bounds parsed-ahead commands per connection; the reader
+// blocks once the writer falls this far behind, so one hostile
+// connection cannot queue unbounded parsed state.
+const maxPipeline = 128
+
+// pending is one parsed command waiting its turn on the response
+// stream: the submitted requests to await (in submit order) and the
+// render closure that writes the response once they complete. A nil
+// render writes nothing (noreply). quit closes the connection after
+// rendering.
+type pending struct {
+	wait   []*Request
+	render func(w *bufio.Writer)
+	quit   bool
+}
 
 // Server is the TCP frontend over a Store and its Executor.
 type Server struct {
@@ -91,6 +117,9 @@ func (srv *Server) Shutdown() {
 
 var crlf = []byte("\r\n")
 
+// serveConn is the reader half of a connection: parse commands ahead,
+// submit their requests, and hand each parsed command to the writer
+// in order. Responses are the writer's job.
 func (srv *Server) serveConn(conn net.Conn) {
 	defer srv.wg.Done()
 	defer func() {
@@ -100,11 +129,14 @@ func (srv *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	pend := make(chan *pending, maxPipeline)
+	done := make(chan struct{})
+	srv.wg.Add(1)
+	go srv.writeLoop(conn, pend, done)
 	for {
 		line, err := r.ReadBytes('\n')
 		if err != nil {
-			return
+			break
 		}
 		line = bytes.TrimRight(line, "\r\n")
 		if len(line) == 0 {
@@ -114,179 +146,239 @@ func (srv *Server) serveConn(conn net.Conn) {
 		// is not; dispatching would index fields[0].
 		fields := bytes.Fields(line)
 		if len(fields) == 0 {
-			fmt.Fprintf(w, "ERROR\r\n")
-			if err := w.Flush(); err != nil {
-				return
-			}
+			pend <- respond("ERROR\r\n")
 			continue
 		}
-		quit, err := srv.dispatch(fields, r, w)
-		if err != nil {
-			return // connection-fatal: malformed payload framing
+		p, fatal := srv.parse(fields, r, pend)
+		if p != nil {
+			pend <- p
 		}
-		if err := w.Flush(); err != nil || quit {
-			return
+		if fatal != nil || (p != nil && p.quit) {
+			break // connection can no longer be parsed, or quit
 		}
+	}
+	close(pend)
+	// Let the writer finish rendering what was pipelined before the
+	// deferred close tears the connection down under it.
+	<-done
+}
+
+// writeLoop is the writer half: render responses strictly in parse
+// order, waiting for each command's requests to complete first.
+// Responses for a pipelined burst are flushed together once the
+// pipeline momentarily empties. After a write error the loop keeps
+// draining the channel (never stranding the reader on a full
+// pipeline) without rendering.
+func (srv *Server) writeLoop(conn net.Conn, pend chan *pending, done chan struct{}) {
+	defer srv.wg.Done()
+	defer close(done)
+	w := bufio.NewWriter(conn)
+	broken := false
+	for p := range pend {
+		if !broken {
+			for _, req := range p.wait {
+				<-req.Done
+			}
+			if p.render != nil {
+				p.render(w)
+			}
+			if len(pend) == 0 || p.quit {
+				if err := w.Flush(); err != nil {
+					broken = true
+				}
+			}
+		}
+		if p.quit && !broken {
+			// Unblock the reader (it stopped at quit already) and refuse
+			// anything a misbehaving client pipelined after quit.
+			broken = true
+			conn.Close()
+		}
+	}
+	if !broken {
+		w.Flush()
 	}
 }
 
-// dispatch executes one command. The returned error means the
-// connection can no longer be parsed and must drop; protocol-level
-// problems are reported in-band (ERROR / CLIENT_ERROR ...).
-func (srv *Server) dispatch(fields [][]byte, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+// respond builds a pending that waits on nothing and writes a fixed
+// protocol reply.
+func respond(s string) *pending {
+	return &pending{render: func(w *bufio.Writer) { io.WriteString(w, s) }}
+}
+
+// parse consumes one command (and any payload) from the stream and
+// returns the pending response. A non-nil fatal means the connection
+// can no longer be parsed and must drop; protocol-level problems are
+// reported in-band (ERROR / CLIENT_ERROR ...) via the pending.
+func (srv *Server) parse(fields [][]byte, r *bufio.Reader, pend chan *pending) (p *pending, fatal error) {
 	cmd := string(fields[0])
 	switch cmd {
 	case "quit":
-		return true, nil
+		return &pending{quit: true}, nil
 
 	case "get", "gets":
 		if len(fields) < 2 {
-			fmt.Fprintf(w, "ERROR\r\n")
-			return false, nil
+			return respond("ERROR\r\n"), nil
 		}
-		for _, key := range fields[1:] {
+		// Fan every key out to its shard before awaiting any reply:
+		// cross-shard keys execute concurrently, and the writer gathers
+		// responses back in request order.
+		keys := fields[1:]
+		reqs := make([]*Request, len(keys))
+		p := &pending{}
+		allSubmitted := true
+		for i, key := range keys {
 			req := &Request{Op: OpGet, Key: key, Done: make(chan struct{})}
-			if !srv.submitWait(req) {
-				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
-				return false, nil
+			if !srv.exec.Submit(req) {
+				allSubmitted = false
+				break
 			}
-			if req.Found {
-				fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, req.ValFlags, len(req.Val))
-				w.Write(req.Val)
-				w.Write(crlf)
-			}
+			reqs[i] = req
+			p.wait = append(p.wait, req)
 		}
-		fmt.Fprintf(w, "END\r\n")
+		p.render = func(w *bufio.Writer) {
+			if !allSubmitted {
+				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+				return
+			}
+			for i, req := range reqs {
+				if req.Shed || req.Err == ErrDraining {
+					fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+					return
+				}
+				if req.Found {
+					fmt.Fprintf(w, "VALUE %s %d %d\r\n", keys[i], req.ValFlags, len(req.Val))
+					w.Write(req.Val)
+					w.Write(crlf)
+				}
+			}
+			fmt.Fprintf(w, "END\r\n")
+		}
+		return p, nil
 
 	case "set":
 		// set <key> <flags> <exptime> <bytes> [noreply]
 		if len(fields) < 5 {
-			fmt.Fprintf(w, "ERROR\r\n")
-			return false, nil
+			return respond("ERROR\r\n"), nil
 		}
 		flags, ferr := strconv.ParseUint(string(fields[2]), 10, 32)
 		nbytes, berr := strconv.Atoi(string(fields[4]))
 		if ferr != nil || berr != nil || nbytes < 0 {
-			fmt.Fprintf(w, "CLIENT_ERROR bad command line format\r\n")
-			return false, nil
+			return respond("CLIENT_ERROR bad command line format\r\n"), nil
 		}
 		noreply := len(fields) >= 6 && string(fields[5]) == "noreply"
 		if nbytes > srv.st.cfg.MaxValueBytes {
 			// The declared length is attacker-controlled: consume the
 			// payload to keep the stream parseable, but never allocate
 			// for it (a hostile "set k 0 0 1099511627776" must not OOM
-			// the server). The response goes out first so a client that
-			// streams slowly still learns the rejection.
+			// the server). The rejection goes to the writer *before* the
+			// discard, so a client that never streams the payload (or
+			// streams it slowly) still learns it was rejected.
 			if !noreply {
-				fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
+				pend <- respond("SERVER_ERROR object too large for cache\r\n")
 			}
-			w.Flush()
 			if _, err := io.CopyN(io.Discard, r, int64(nbytes)+2); err != nil {
-				return false, err
+				return nil, err
 			}
-			return false, nil
+			return nil, nil
 		}
 		// The payload follows regardless of validity; it must be
 		// consumed to keep the stream parseable. A disconnect before the
-		// full payload+CRLF arrives returns err and drops the connection
-		// *without submitting* — a half-written body can never reach a
-		// shard queue, so nothing is ever acked-but-unsubmitted.
+		// full payload+CRLF arrives returns fatal and drops the
+		// connection *without submitting* — a half-written body can
+		// never reach a shard queue, so nothing is ever
+		// acked-but-unsubmitted.
 		payload := make([]byte, nbytes+2)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return false, err
+			return nil, err
 		}
 		if !bytes.HasSuffix(payload, crlf) {
-			fmt.Fprintf(w, "CLIENT_ERROR bad data chunk\r\n")
-			return false, nil
+			return respond("CLIENT_ERROR bad data chunk\r\n"), nil
 		}
 		val := payload[:nbytes]
-		req := &Request{Op: OpSet, Key: fields[1], Value: val, Flags: uint32(flags), Done: make(chan struct{})}
-		if !srv.submitWait(req) {
-			if !noreply {
-				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+		req := &Request{Op: OpSet, Key: fields[1], Value: val, Flags: uint32(flags)}
+		return srv.submitCmd(req, noreply, func(w *bufio.Writer) {
+			switch {
+			case errors.Is(req.Err, ErrDurable):
+				fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
+			case req.Err != nil:
+				fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", req.Err)
+			default:
+				fmt.Fprintf(w, "STORED\r\n")
 			}
-			return false, nil
-		}
-		if noreply {
-			return false, nil
-		}
-		switch {
-		case errors.Is(req.Err, ErrDurable):
-			fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
-		case req.Err != nil:
-			fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", req.Err)
-		default:
-			fmt.Fprintf(w, "STORED\r\n")
-		}
+		}), nil
 
 	case "delete":
 		if len(fields) < 2 {
-			fmt.Fprintf(w, "ERROR\r\n")
-			return false, nil
+			return respond("ERROR\r\n"), nil
 		}
 		noreply := len(fields) >= 3 && string(fields[2]) == "noreply"
-		req := &Request{Op: OpDelete, Key: fields[1], Done: make(chan struct{})}
-		if !srv.submitWait(req) {
-			if !noreply {
-				fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+		req := &Request{Op: OpDelete, Key: fields[1]}
+		return srv.submitCmd(req, noreply, func(w *bufio.Writer) {
+			switch {
+			case errors.Is(req.Err, ErrDurable):
+				fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
+			case req.Found:
+				fmt.Fprintf(w, "DELETED\r\n")
+			default:
+				fmt.Fprintf(w, "NOT_FOUND\r\n")
 			}
-			return false, nil
-		}
-		if noreply {
-			return false, nil
-		}
-		switch {
-		case errors.Is(req.Err, ErrDurable):
-			fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
-		case req.Found:
-			fmt.Fprintf(w, "DELETED\r\n")
-		default:
-			fmt.Fprintf(w, "NOT_FOUND\r\n")
-		}
+		}), nil
 
 	case "incr":
 		if len(fields) < 3 {
-			fmt.Fprintf(w, "ERROR\r\n")
-			return false, nil
+			return respond("ERROR\r\n"), nil
 		}
 		delta, derr := strconv.ParseUint(string(fields[2]), 10, 64)
 		if derr != nil {
-			fmt.Fprintf(w, "CLIENT_ERROR invalid numeric delta argument\r\n")
-			return false, nil
+			return respond("CLIENT_ERROR invalid numeric delta argument\r\n"), nil
 		}
-		req := &Request{Op: OpIncr, Key: fields[1], Delta: delta, Done: make(chan struct{})}
-		if !srv.submitWait(req) {
-			fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
-			return false, nil
-		}
-		switch {
-		case errors.Is(req.Err, ErrDurable):
-			fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
-		case req.Err != nil:
-			fmt.Fprintf(w, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
-		case !req.Found:
-			fmt.Fprintf(w, "NOT_FOUND\r\n")
-		default:
-			fmt.Fprintf(w, "%d\r\n", req.NewVal)
-		}
+		req := &Request{Op: OpIncr, Key: fields[1], Delta: delta}
+		return srv.submitCmd(req, false, func(w *bufio.Writer) {
+			switch {
+			case errors.Is(req.Err, ErrDurable):
+				fmt.Fprintf(w, "SERVER_ERROR persistence failure\r\n")
+			case req.Err != nil:
+				fmt.Fprintf(w, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+			case !req.Found:
+				fmt.Fprintf(w, "NOT_FOUND\r\n")
+			default:
+				fmt.Fprintf(w, "%d\r\n", req.NewVal)
+			}
+		}), nil
 
 	case "stats":
-		srv.writeStats(w)
+		return &pending{render: srv.writeStats}, nil
 
 	default:
-		fmt.Fprintf(w, "ERROR\r\n")
+		return respond("ERROR\r\n"), nil
 	}
-	return false, nil
 }
 
-// submitWait submits req and blocks until it completes. It reports
-// false when the request was rejected (queue full, draining) or shed.
-func (srv *Server) submitWait(req *Request) bool {
-	if !srv.exec.Submit(req) {
-		return false
+// submitCmd submits one mutation request and builds its pending: a
+// rejected or shed request renders SERVER_ERROR busy; noreply renders
+// nothing (and, with no response to order, does not hold the response
+// stream — the request is fire-and-forget).
+func (srv *Server) submitCmd(req *Request, noreply bool, render func(w *bufio.Writer)) *pending {
+	if !noreply {
+		req.Done = make(chan struct{})
 	}
-	<-req.Done
-	return !req.Shed && req.Err != ErrDraining
+	if !srv.exec.Submit(req) {
+		if noreply {
+			return nil
+		}
+		return respond("SERVER_ERROR busy\r\n")
+	}
+	if noreply {
+		return nil
+	}
+	return &pending{wait: []*Request{req}, render: func(w *bufio.Writer) {
+		if req.Shed || req.Err == ErrDraining {
+			fmt.Fprintf(w, "SERVER_ERROR busy\r\n")
+			return
+		}
+		render(w)
+	}}
 }
 
 // writeStats emits the service counters in "STAT name value" form.
@@ -300,5 +392,18 @@ func (srv *Server) writeStats(w *bufio.Writer) {
 	stat("txn_commits", met.Get(metrics.CtrCommits))
 	stat("txn_aborts", met.Get(metrics.CtrAborts))
 	stat("queue_depth", srv.exec.queued.Load())
+	if srv.exec.cfg.Adaptive {
+		stat("ctrl_steps", met.Get(metrics.CtrSrvCtrlSteps))
+		stat("ctrl_steps_up", met.Get(metrics.CtrSrvCtrlUp))
+		stat("ctrl_steps_down", met.Get(metrics.CtrSrvCtrlDown))
+	}
+	for i := range srv.exec.shards {
+		stat(fmt.Sprintf("shard%d_shed", i), srv.exec.ShardShed(i))
+		if cap, window, steps, ok := srv.exec.ShardCtrl(i); ok {
+			stat(fmt.Sprintf("shard%d_batch_cap", i), int64(cap))
+			stat(fmt.Sprintf("shard%d_window_ns", i), window)
+			stat(fmt.Sprintf("shard%d_ctrl_steps", i), steps)
+		}
+	}
 	fmt.Fprintf(w, "END\r\n")
 }
