@@ -58,9 +58,24 @@ import (
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
+	"goptm/internal/metrics"
+	"goptm/internal/obs"
 	"goptm/internal/server"
 	"goptm/internal/server/loadsim"
 )
+
+// writeTraceFile exports the recorder's Perfetto JSON to path.
+func writeTraceFile(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	listen := flag.String("listen", ":11211", "TCP listen address (server mode)")
@@ -98,6 +113,13 @@ func main() {
 	statics := flag.String("static", "1:2000,8:2000,32:16384", "ratesweep: static batch:windowNS operating points to race the controller against")
 	sweepJSON := flag.String("sweepjson", "", "ratesweep: also write the BENCH_9-style JSON artifact to this path")
 	jobs := flag.Int("jobs", 1, "ratesweep: concurrent sweep cells (each cell is an independent lockstep machine; output is identical at any -jobs)")
+
+	telemetry := flag.String("telemetry", "", "server mode: serve /metrics (Prometheus text), /snapshot (JSON), and /healthz on this loopback address; empty (the default) disables")
+	flightSize := flag.Int("flight", 4096, "server mode with -image: flight-recorder ring size, mirrored to <image>.flight for post-SIGKILL harvest; 0 disables")
+	flightInterval := flag.Duration("flight-interval", 200*time.Millisecond, "flight-recorder sidecar mirror interval (host time)")
+	tracePath := flag.String("trace", "", "write a Perfetto-JSON trace here on exit: sampled request-lifecycle chains (server mode on wall time, loadsim on virtual time)")
+	traceSample := flag.Int("tracesample", 64, "with -trace: sample ~1 in N requests through the lifecycle span chain (1 = every request)")
+	traceSeed := flag.Uint64("traceseed", 1, "with -trace: deterministic request-sampling seed")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -178,17 +200,31 @@ func main() {
 			}
 			sizes = append(sizes, n)
 		}
+		// One recorder across the whole batch sweep: runs are
+		// sequential, so the exported trace carries every sweep's
+		// sampled chains on the shared virtual timeline.
+		var rec *obs.Recorder
+		if *tracePath != "" {
+			rec = obs.New(*shards+1, true)
+		}
 		results, err := loadsim.Curve(loadsim.Config{
 			Algo: algo, Domain: domain, Shards: *shards,
 			Keys: *keys, ValueBytes: *valueBytes, SetPercent: *setPct,
 			Rate: *rate, Requests: *requests, Seed: *seed, Warmup: *warmup,
 			BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS, QueueDepth: *queueDepth,
 			Adaptive: *adaptive, Ctrl: ctrl,
+			Recorder: rec, TraceSample: *traceSample, TraceSeed: *traceSeed,
 		}, sizes)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(loadsim.Report(results))
+		if rec != nil {
+			if err := writeTraceFile(*tracePath, rec); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "ptmserve: trace written to %s (%d request chains)\n", *tracePath, len(rec.Requests()))
+		}
 		return
 	}
 
@@ -214,13 +250,54 @@ func main() {
 		}
 	}
 
+	// Request-lifecycle tracing rides a standalone recorder (machine
+	// spans stay off); stamps are wall-clock because TCP requests live
+	// on host time.
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.New(1, true)
+	}
+	// The flight recorder mirrors a sidecar next to the image so a
+	// SIGKILLed process still leaves its last pre-kill window behind.
+	var fr *server.FlightRecorder
+	if *image != "" {
+		fr = server.NewFlightRecorder(*flightSize)
+	}
+	defer func() {
+		// A panicking server still dumps the ring: the sidecar is the
+		// only testimony a crashed process leaves.
+		if r := recover(); r != nil {
+			fr.Dump()
+			panic(r)
+		}
+	}()
+
 	exec := server.NewExecutor(st, server.ExecConfig{
 		Shards: *shards, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
 		BatchWindowNS: *windowNS, DeadlineNS: *deadlineNS,
 		IdleSleep:  50 * time.Microsecond,
 		DurableAck: journaled,
 		Adaptive:   *adaptive, Ctrl: ctrl,
+		TraceSample: *traceSample, TraceSeed: *traceSeed,
+		WallClock: true, TraceRecorder: rec,
+		Flight: fr,
 	})
+	if fr != nil {
+		fr.StartMirror(server.FlightPath(*image), *flightInterval, func() server.FlightSample {
+			m := st.TM().Metrics()
+			ctrs := make(map[string]int64, metrics.NumCounters)
+			for c := metrics.Counter(0); c < metrics.NumCounters; c++ {
+				if v := m.Get(c); v != 0 {
+					ctrs[c.String()] = v
+				}
+			}
+			return server.FlightSample{
+				WallNS:     time.Now().UnixNano(),
+				QueueDepth: exec.QueueDepth(),
+				Counters:   ctrs,
+			}
+		})
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fail(err)
@@ -232,12 +309,35 @@ func main() {
 	}
 	fmt.Printf("ptmserve: serving on %s (%s/%s, %d shards, batch<=%d, %s)\n",
 		ln.Addr(), *algoName, domain, *shards, exec.Config().MaxBatch, mode)
+	var tel *server.Telemetry
+	if *telemetry != "" {
+		tel, err = server.StartTelemetry(*telemetry, st, exec, fr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("ptmserve: telemetry on http://%s (/metrics, /snapshot, /healthz)\n", tel.Addr())
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	<-sigCh
 	fmt.Println("ptmserve: draining...")
 	srv.Shutdown()
+	// Shutdown ordering: the executor is drained, so the trace is
+	// complete; the flight recorder's final dump captures the drained
+	// state; only then does the telemetry listener close — a scraper
+	// polling through the drain never sees a half-stopped plane.
+	if rec != nil {
+		if err := writeTraceFile(*tracePath, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "ptmserve: trace export: %v\n", err)
+		} else {
+			fmt.Printf("ptmserve: trace written to %s (%d request chains)\n", *tracePath, len(rec.Requests()))
+		}
+	}
+	fr.Stop()
+	if tel != nil {
+		tel.Close()
+	}
 	if *image != "" {
 		// Power-failure semantics on purpose: the domain policy decides
 		// what survives, and the next start runs true crash recovery.

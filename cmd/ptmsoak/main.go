@@ -52,6 +52,7 @@ func main() {
 	shards := flag.Int("shards", 4, "executor shards")
 	heap := flag.Uint64("heap", 1<<18, "persistent heap words (small default keeps cycles fast)")
 	unsafe := flag.Bool("unsafe-nodurable", false, "self-test: weaken the target so kills lose acked writes; the run must fail")
+	flightTail := flag.Int("flight-tail", 32, "flight-recorder records harvested into the verdict after each kill (process mode)")
 	repro := flag.String("repro", "", "on violation, write a replayable repro JSON here")
 	replay := flag.String("replay", "", "replay a repro JSON instead of reading the workload flags")
 	verbose := flag.Bool("v", false, "log cycle progress to stderr")
@@ -82,6 +83,7 @@ func main() {
 			Shards: *shards, Heap: *heap, NoDurable: *unsafe,
 		}
 	}
+	cfg.FlightTail = *flightTail
 	if cfg.Image == "" {
 		dir, err := os.MkdirTemp("", "ptmsoak-")
 		if err != nil {

@@ -187,8 +187,9 @@ type Recorder struct {
 	tracing bool
 	threads []*ThreadRecorder
 
-	mu     sync.Mutex
-	shared []counterSample
+	mu       sync.Mutex
+	shared   []counterSample
+	requests []ReqRecord
 }
 
 // New builds a recorder for threads workers. With trace set, all span,
@@ -253,7 +254,7 @@ func (r *Recorder) EventCount() int {
 		n += len(tr.spans) + len(tr.instants) + len(tr.counts)
 	}
 	r.mu.Lock()
-	n += len(r.shared)
+	n += len(r.shared) + len(r.requests)
 	r.mu.Unlock()
 	return n
 }

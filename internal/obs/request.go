@@ -1,0 +1,98 @@
+package obs
+
+// Request-lifecycle records: the serving path's per-request span
+// chain. Where the Phase taxonomy decomposes one *transaction*, a
+// ReqRecord decomposes one *served request* — from wire parse (or
+// loadsim arrival) through shard-queue wait, batch formation, the
+// batched transaction execute, the durable-ack barrier's WPQ drain
+// and journal flush, to the writer's acknowledgment. The executor
+// stamps boundary timestamps, not durations: phase i is the interval
+// [TS[i], TS[i+1]), so the per-phase durations telescope to exactly
+// the end-to-end latency — the attribution property the serving-path
+// observability work exists for ("is p99 queue wait or journal
+// flush?").
+//
+// Timestamps are whatever clock the executor's tracer runs on:
+// virtual nanoseconds under loadsim/lockstep, host nanoseconds since
+// the tracer's epoch for the real TCP server. The trace exporter does
+// not care — both render as one timeline.
+
+// ReqPhase identifies one slice of a served request's lifecycle.
+type ReqPhase uint8
+
+const (
+	ReqParse   ReqPhase = iota // wire parse / loadsim arrival generation
+	ReqQueue                   // shard-queue wait: enqueue → pop
+	ReqBatch                   // batch formation: pop → transaction start (group-commit window)
+	ReqExecute                 // batched transaction: begin → commit returned
+	ReqDrain                   // durable-ack barrier: WPQ drain onto media
+	ReqJournal                 // durable-ack barrier: journal batch flush to the host file
+	ReqAck                     // barrier done → completion delivered to the submitter
+	NumReqPhases
+)
+
+// reqPhaseNames are the stable exporter names, index by ReqPhase.
+var reqPhaseNames = [NumReqPhases]string{
+	"req-parse", "req-queue", "req-batch", "req-execute",
+	"req-drain", "req-journal", "req-ack",
+}
+
+// String names the request phase as the trace exporter does.
+func (p ReqPhase) String() string {
+	if int(p) < len(reqPhaseNames) {
+		return reqPhaseNames[p]
+	}
+	return "req-phase?"
+}
+
+// ReqRecord is one sampled request's lifecycle. TS[0] is the parse
+// start and TS[i+1] the end of phase ReqPhase(i): zero-width phases
+// are legal (a read batch has an empty drain/journal interval) and
+// the phase durations always sum to TS[NumReqPhases]-TS[0], the
+// request's end-to-end latency.
+type ReqRecord struct {
+	ID    uint64 // arrival index from the executor's sampler
+	Shard int32
+	Op    uint8 // server.Op value; opaque to this package
+	Shed  bool  // deadline-shed at pop: TS[2:] collapse to the shed instant
+	TS    [NumReqPhases + 1]int64
+}
+
+// Stamp sets boundary i to ts, clamped so boundaries never regress.
+// The clamp matters under lockstep: a shard thread whose clock trails
+// the submitting thread's can pop a request at a virtual time before
+// its enqueue stamp, and a negative-width phase would break the
+// telescoping-durations property. Clamping charges such a phase zero
+// time instead.
+func (q *ReqRecord) Stamp(i int, ts int64) {
+	if i > 0 && ts < q.TS[i-1] {
+		ts = q.TS[i-1]
+	}
+	q.TS[i] = ts
+}
+
+// Request retains one completed request-lifecycle record. Safe on a
+// nil receiver and on recorders built without tracing (both no-op),
+// and safe for concurrent use — shard workers finish requests
+// concurrently on the TCP server.
+func (r *Recorder) Request(rec ReqRecord) {
+	if r == nil || !r.tracing {
+		return
+	}
+	r.mu.Lock()
+	r.requests = append(r.requests, rec)
+	r.mu.Unlock()
+}
+
+// Requests returns a copy of the retained request records (tests and
+// report tooling; the trace exporter reads the slice directly).
+func (r *Recorder) Requests() []ReqRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]ReqRecord, len(r.requests))
+	copy(out, r.requests)
+	r.mu.Unlock()
+	return out
+}

@@ -24,6 +24,12 @@ import (
 // tracePID is the synthetic process id of the simulated machine.
 const tracePID = 1
 
+// reqPID is the synthetic process id of the served-request timeline:
+// request-lifecycle span chains render as their own process with one
+// lane per executor shard, so ui.perfetto.dev shows the machine's
+// transaction phases and the service's request phases side by side.
+const reqPID = 2
+
 // WriteTrace writes the retained events as Chrome trace-event JSON.
 // The output is a complete, valid JSON object regardless of how many
 // events were recorded; recording with tracing disabled yields only
@@ -51,9 +57,30 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		}
 		r.mu.Lock()
 		shared := r.shared
+		requests := r.requests
 		r.mu.Unlock()
 		for _, c := range shared {
 			e.counter(c)
+		}
+		// The request-lifecycle process is emitted only when records
+		// exist: a recorder with no sampled requests produces exactly the
+		// bytes it did before this process existed (the golden file pins
+		// them).
+		if len(requests) > 0 {
+			e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"goptm served requests"}}`, reqPID)
+			maxShard := int32(0)
+			for _, q := range requests {
+				if q.Shard > maxShard {
+					maxShard = q.Shard
+				}
+			}
+			for sh := int32(0); sh <= maxShard; sh++ {
+				e.meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"shard %d"}}`,
+					reqPID, sh, sh)
+			}
+			for _, q := range requests {
+				e.request(q)
+			}
 		}
 	}
 	e.raw(`],"displayTimeUnit":"ns"}`)
@@ -113,6 +140,25 @@ func (e *traceEncoder) instant(tid int, ev instant) {
 		_, e.err = fmt.Fprintf(e.w,
 			`{"name":%q,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s}`,
 			ev.name, tracePID, tid, usec(ev.ts))
+	}
+}
+
+// request renders one request's full span chain on its shard's lane.
+// Every phase is emitted — zero-width ones included — so the chain
+// visibly covers parse→queue→batch→execute→drain→journal→ack and the
+// rendered durations sum to the request's end-to-end latency.
+func (e *traceEncoder) request(q ReqRecord) {
+	for p := ReqPhase(0); p < NumReqPhases; p++ {
+		start, end := q.TS[p], q.TS[p+1]
+		if end < start {
+			continue // a malformed stamp must not poison the whole trace
+		}
+		e.sep()
+		if e.err == nil {
+			_, e.err = fmt.Fprintf(e.w,
+				`{"name":%q,"cat":"req","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"req":%d,"op":%d,"shed":%v}}`,
+				p.String(), reqPID, q.Shard, usec(start), usec(end-start), q.ID, q.Op, q.Shed)
+		}
 	}
 }
 

@@ -64,6 +64,13 @@ type Request struct {
 	// Done makes the request fire-and-forget.
 	Done chan struct{}
 
+	// Trace carries the request-lifecycle stamps when this request was
+	// sampled (Executor.TraceStart); the executor fills the queue, pop,
+	// execute, drain, journal, and ack boundaries and hands the
+	// completed record to the obs recorder. Nil — the common case —
+	// costs one pointer check per stamping site.
+	Trace *obs.ReqRecord
+
 	// Results, valid once Done is closed.
 	Found    bool   // get/delete/incr: key existed
 	Val      []byte // get result
@@ -121,6 +128,28 @@ type ExecConfig struct {
 	Adaptive bool
 	Ctrl     CtrlConfig
 
+	// TraceSample enables request-lifecycle tracing: ~1 in TraceSample
+	// submitted requests is stamped through the parse→queue→batch→
+	// execute→drain→journal→ack chain and retained by the obs recorder
+	// (1 samples everything; 0, the default, disables sampling — the
+	// zero-overhead path). Sampling requires a tracing recorder:
+	// TraceRecorder if set, else the store machine's.
+	TraceSample int
+	// TraceSeed seeds the deterministic sampling hash; a fixed (seed,
+	// sample) pair picks the same arrivals on every run.
+	TraceSeed uint64
+	// WallClock stamps lifecycle records with host time instead of the
+	// shard's virtual clock — the TCP server sets it (its requests live
+	// on wall time); loadsim leaves it off.
+	WallClock bool
+	// TraceRecorder overrides the machine's recorder for request
+	// records only — the TCP server uses a standalone recorder so
+	// request tracing doesn't force machine-wide span retention.
+	TraceRecorder *obs.Recorder
+	// Flight, when non-nil, receives a FlightRecord for every request
+	// completion (executed, shed, or swept at drain).
+	Flight *FlightRecorder
+
 	// The static operating point before Adaptive raised MaxBatch to
 	// the controller bound — the controller's start values.
 	startCap    int
@@ -177,8 +206,13 @@ type shard struct {
 
 	ctrl *ctrl // adaptive (cap, window) controller; nil when static
 
+	// statsMu guards the histograms and executed: the worker takes it
+	// once per batch, so the telemetry endpoint can merge live stats
+	// from host goroutines without racing the shard thread.
+	statsMu    sync.Mutex
 	latency    stats.Histogram // enqueue→completion, virtual ns
 	batchSizes stats.Histogram
+	ackLat     stats.Histogram // durable-ack barrier (drain+journal), host ns
 	executed   int64
 	shed       atomic.Int64 // per-shard deadline sheds (stats reads it live)
 }
@@ -195,6 +229,9 @@ type Executor struct {
 	shards []*shard
 	queued atomic.Int64 // across all shards, for the queue-depth track
 
+	tracer *reqTracer      // request-lifecycle sampling; nil when disabled
+	flight *FlightRecorder // completed-request ring; nil when disabled
+
 	inputsDone atomic.Bool
 	draining   atomic.Bool
 	wg         sync.WaitGroup
@@ -210,7 +247,13 @@ func NewExecutor(st *Store, cfg ExecConfig) *Executor {
 		met:    st.tm.Metrics(),
 		rec:    st.tm.Recorder(),
 		shards: make([]*shard, cfg.Shards),
+		flight: cfg.Flight,
 	}
+	traceRec := cfg.TraceRecorder
+	if traceRec == nil {
+		traceRec = st.tm.Recorder()
+	}
+	e.tracer = newReqTracer(traceRec, cfg.TraceSample, cfg.TraceSeed, cfg.WallClock)
 	for i := range e.shards {
 		e.shards[i] = &shard{}
 		if cfg.Adaptive {
@@ -245,9 +288,15 @@ func (e *Executor) Submit(req *Request) bool {
 	if e.draining.Load() {
 		return false
 	}
-	s := e.shards[e.ShardOf(req.Key)]
+	si := e.ShardOf(req.Key)
+	s := e.shards[si]
 	if req.EnqVT == 0 {
 		req.EnqVT = s.lastVT.Load()
+	}
+	if req.Trace != nil {
+		req.Trace.Shard = int32(si)
+		req.Trace.Op = uint8(req.Op)
+		req.Trace.Stamp(1, e.tracer.now(req.EnqVT))
 	}
 	s.mu.Lock()
 	if len(s.queue)-s.head >= e.cfg.QueueDepth {
@@ -261,6 +310,16 @@ func (e *Executor) Submit(req *Request) bool {
 	e.met.Add(metrics.CtrSrvRequests, 1)
 	return true
 }
+
+// TraceStart makes the request-lifecycle sampling decision for one
+// arriving request: nil (not sampled, or tracing off — the common,
+// allocation-free case) or a record with the parse boundary stamped.
+// Frontends call it where the request enters the system — the TCP
+// parser at command parse, loadsim at arrival generation — assign the
+// result to Request.Trace, and Submit plus the shard worker fill the
+// remaining boundaries. vt is the caller's virtual clock; ignored
+// under WallClock.
+func (e *Executor) TraceStart(vt int64) *obs.ReqRecord { return e.tracer.start(vt) }
 
 // popLive removes queued requests from shard s until it has gathered
 // up to max live ones, shedding any that aged past deadline *at pop
@@ -279,8 +338,22 @@ func (s *shard) popLive(e *Executor, max int, now, deadline int64, out *[]*Reque
 		if deadline > 0 && now-req.EnqVT > deadline {
 			req.Shed = true
 			sheds++
+			if req.Trace != nil {
+				// The lifecycle ends at the pop: collapse every remaining
+				// boundary to the shed instant so the chain still telescopes.
+				tnow := e.tracer.now(now)
+				for k := 2; k < len(req.Trace.TS); k++ {
+					req.Trace.Stamp(k, tnow)
+				}
+				req.Trace.Shed = true
+				e.tracer.finish(req.Trace)
+			}
+			e.recordFlight(req, now)
 			finish(req)
 			continue
+		}
+		if req.Trace != nil {
+			req.Trace.Stamp(2, e.tracer.now(now))
 		}
 		*out = append(*out, req)
 		live++
@@ -417,6 +490,16 @@ func (e *Executor) ctrlStep(s *shard, th *core.Thread) {
 // everything. Deadline shedding already happened at pop time.
 func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 	if len(live) > 0 {
+		if e.tracer != nil {
+			// The batch closes here: every member's batch-formation phase
+			// ends at the same transaction start.
+			tnow := e.tracer.now(th.Now())
+			for _, req := range live {
+				if req.Trace != nil {
+					req.Trace.Stamp(3, tnow)
+				}
+			}
+		}
 		kv := e.st.kv
 		th.Atomic(func(tx *core.Tx) {
 			// The body re-runs on abort: every result field is plainly
@@ -434,6 +517,17 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 				}
 			}
 		})
+		// Stamp the execute boundary at the actual moment: under
+		// WallClock the tracer's clock is "now", so deferring the stamp
+		// past the barrier would order it after the drain boundary.
+		var tExec int64
+		if e.tracer != nil {
+			tExec = e.tracer.now(th.Now())
+		}
+		// Without a barrier the drain and journal boundaries collapse onto
+		// the execute end (zero-width phases keep the chain telescoping).
+		tDrain, tJournal := tExec, tExec
+		var ackHostNS int64
 		if e.cfg.DurableAck {
 			hasWrite := false
 			for _, req := range live {
@@ -443,7 +537,18 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 				}
 			}
 			if hasWrite {
-				if err := e.st.DrainPersist(th); err != nil {
+				// The durable-ack barrier, split so the drain and journal
+				// halves stamp separately: WPQ entries onto simulated
+				// media first, then the journal batch onto the host file.
+				barrier := time.Now()
+				e.st.DrainMedia(th)
+				drainEnd := th.Now()
+				ferr := e.st.FlushJournal()
+				ackHostNS = time.Since(barrier).Nanoseconds()
+				if e.tracer != nil {
+					tDrain, tJournal = e.tracer.now(drainEnd), e.tracer.now(th.Now())
+				}
+				if ferr != nil {
 					for _, req := range live {
 						if req.Op != OpGet && req.Err == nil {
 							req.Err = ErrDurable
@@ -455,6 +560,7 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 		end := th.Now()
 		s.lastVT.Store(end)
 		var maxLat int64
+		s.statsMu.Lock()
 		for _, req := range live {
 			lat := end - req.EnqVT
 			if lat > maxLat {
@@ -463,10 +569,30 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 			if !req.Warmup {
 				s.latency.Record(lat)
 			}
-			finish(req)
 		}
 		s.executed += int64(len(live))
 		s.batchSizes.Record(int64(len(live)))
+		if ackHostNS > 0 {
+			s.ackLat.Record(ackHostNS)
+		}
+		s.statsMu.Unlock()
+		if e.tracer != nil {
+			tEnd := e.tracer.now(end)
+			for _, req := range live {
+				if req.Trace == nil {
+					continue
+				}
+				req.Trace.Stamp(4, tExec)
+				req.Trace.Stamp(5, tDrain)
+				req.Trace.Stamp(6, tJournal)
+				req.Trace.Stamp(7, tEnd)
+				e.tracer.finish(req.Trace)
+			}
+		}
+		for _, req := range live {
+			e.recordFlight(req, end)
+			finish(req)
+		}
 		if s.ctrl != nil {
 			s.ctrl.observeBatch(len(live), maxLat)
 		}
@@ -476,6 +602,23 @@ func (e *Executor) execBatch(s *shard, th *core.Thread, live []*Request) {
 	if e.rec.Tracing() {
 		e.rec.CountShared(obs.TrackServerQueue, th.Now(), float64(e.queued.Load()))
 	}
+}
+
+// recordFlight publishes one completed request into the flight ring
+// (nil flight: one branch and out).
+func (e *Executor) recordFlight(req *Request, doneVT int64) {
+	if e.flight == nil {
+		return
+	}
+	e.flight.Record(FlightRecord{
+		Op:     uint8(req.Op),
+		Shard:  uint16(e.ShardOf(req.Key)),
+		Shed:   req.Shed,
+		Err:    req.Err != nil,
+		EnqVT:  req.EnqVT,
+		DoneVT: doneVT,
+		LatNS:  doneVT - req.EnqVT,
+	})
 }
 
 // ShardVT returns shard i's last observed virtual timestamp — after a
@@ -496,6 +639,19 @@ func (e *Executor) ShardCtrl(i int) (cap int, windowNS int64, steps int64, ok bo
 
 // ShardShed reports shard i's deadline-shed count so far.
 func (e *Executor) ShardShed(i int) int64 { return e.shards[i].shed.Load() }
+
+// NumShards reports the executor's shard count.
+func (e *Executor) NumShards() int { return len(e.shards) }
+
+// ShardParams reports shard i's live (batch cap, window): the
+// controller's operating point under Adaptive, the static
+// configuration otherwise.
+func (e *Executor) ShardParams(i int) (int, int64) {
+	if cap, win, _, ok := e.ShardCtrl(i); ok {
+		return cap, win
+	}
+	return e.cfg.MaxBatch, e.cfg.BatchWindowNS
+}
 
 // CtrlTrace returns shard i's controller trace (empty unless
 // Ctrl.Trace was set). Call only when the workers are quiescent.
@@ -542,6 +698,7 @@ func (e *Executor) Drain() {
 		s.popLive(e, 1<<31-1, 0, -1, &leftover)
 		for _, req := range leftover {
 			req.Err = ErrDraining
+			e.recordFlight(req, req.EnqVT)
 			finish(req)
 		}
 	}
@@ -556,23 +713,41 @@ type ExecStats struct {
 	CtrlSteps  int64           // controller evaluations (0 when static)
 	Latency    stats.Histogram // merged enqueue→completion latency
 	BatchSizes stats.Histogram
+	AckBarrier stats.Histogram // durable-ack barrier host-time latency
 }
 
-// Stats merges the per-shard accounting. Call it only when the
-// workers are quiescent (after Drain, or between loadsim phases).
+// Stats merges the per-shard accounting. Safe to call while the
+// workers run — the histograms are read under each shard's stats
+// mutex, so the live telemetry endpoint gets a consistent roll-up —
+// though a mid-run snapshot is of course a moving target.
 func (e *Executor) Stats() ExecStats {
 	var out ExecStats
 	out.Queued = e.queued.Load()
 	out.ShardShed = make([]int64, len(e.shards))
 	for i, s := range e.shards {
-		out.Executed += s.executed
 		out.ShardShed[i] = s.shed.Load()
 		out.Shed += out.ShardShed[i]
 		if s.ctrl != nil {
 			out.CtrlSteps += s.ctrl.steps.Load()
 		}
+		s.statsMu.Lock()
+		out.Executed += s.executed
 		out.Latency.Merge(&s.latency)
 		out.BatchSizes.Merge(&s.batchSizes)
+		out.AckBarrier.Merge(&s.ackLat)
+		s.statsMu.Unlock()
 	}
 	return out
+}
+
+// QueueDepth reports the live queued-request count across all shards.
+func (e *Executor) QueueDepth() int64 { return e.queued.Load() }
+
+// ShardQueueDepth reports shard i's live queue depth.
+func (e *Executor) ShardQueueDepth(i int) int {
+	s := e.shards[i]
+	s.mu.Lock()
+	d := len(s.queue) - s.head
+	s.mu.Unlock()
+	return d
 }

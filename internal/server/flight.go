@@ -1,0 +1,270 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder answers the question the soak harness's SIGKILL
+// leaves open: what was the server doing in the seconds before it
+// died? A killed process can't be asked, so the recorder keeps a
+// fixed-size lock-free ring of recent completed-request records plus
+// a short series of counter samples, and a mirror goroutine
+// periodically rewrites a JSON sidecar next to the image (tmp+rename,
+// so the sidecar is never torn). After the kill, ptmsoak harvests the
+// sidecar and attaches the tail to its verdict — an oracle violation
+// then carries the last pre-kill window of telemetry instead of just
+// a key name.
+//
+// The write path is a seqlock per slot: the writer bumps the slot's
+// version to odd, stores the record, and publishes the version even.
+// Readers (the mirror goroutine, the telemetry snapshot) copy the
+// slot and keep it only if the version was even and unchanged across
+// the copy. Writers never block on readers and never allocate; a nil
+// *FlightRecorder disables everything at the cost of one nil check.
+
+// FlightRecord is one completed request as the ring retains it.
+type FlightRecord struct {
+	Seq    uint64 `json:"seq"`     // global completion sequence number
+	WallNS int64  `json:"wall_ns"` // host completion time, unix nanoseconds
+	Op     uint8  `json:"op"`      // server.Op
+	Shard  uint16 `json:"shard"`
+	Shed   bool   `json:"shed,omitempty"` // deadline-shed, never executed
+	Err    bool   `json:"err,omitempty"`  // completed with a kv or durability error
+	EnqVT  int64  `json:"enq_vt"`         // virtual enqueue stamp
+	DoneVT int64  `json:"done_vt"`        // virtual completion stamp
+	LatNS  int64  `json:"lat_ns"`         // enqueue→completion, virtual ns
+}
+
+// FlightSample is one periodic counter observation the mirror loop
+// appends: absolute counter values, so consecutive samples diff into
+// the per-window deltas.
+type FlightSample struct {
+	WallNS     int64            `json:"wall_ns"`
+	QueueDepth int64            `json:"queue_depth"`
+	Counters   map[string]int64 `json:"counters"`
+}
+
+// FlightDump is the sidecar file's schema.
+type FlightDump struct {
+	Schema  int            `json:"schema"`
+	WallNS  int64          `json:"wall_ns"` // when this dump was written
+	Seq     uint64         `json:"seq"`     // records ever written
+	Dropped uint64         `json:"dropped"` // overwritten by ring wrap
+	Records []FlightRecord `json:"records"` // oldest→newest
+	Samples []FlightSample `json:"samples"` // oldest→newest
+}
+
+// flightSchema versions the sidecar format.
+const flightSchema = 1
+
+// maxFlightSamples bounds the counter-sample series the dump carries.
+const maxFlightSamples = 64
+
+// FlightPath names the sidecar mirrored next to the image at path.
+func FlightPath(imagePath string) string { return imagePath + ".flight" }
+
+type flightSlot struct {
+	ver atomic.Uint64 // seq<<1 | 1 while being written; seq<<1 once published
+	rec FlightRecord
+}
+
+// FlightRecorder is the ring plus its mirror goroutine. A nil
+// receiver is the disabled configuration.
+type FlightRecorder struct {
+	slots []flightSlot
+	mask  uint64
+	seq   atomic.Uint64
+
+	mu      sync.Mutex // serializes dumps and guards samples
+	path    string
+	samples []FlightSample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFlightRecorder builds a ring of at least size slots (rounded up
+// to a power of two; size <= 0 returns nil, the disabled recorder).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		return nil
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{slots: make([]flightSlot, n), mask: uint64(n - 1)}
+}
+
+// Record publishes one completed request into the ring. Lock-free,
+// allocation-free, and safe from concurrent shard workers; nil-safe.
+func (f *FlightRecorder) Record(rec FlightRecord) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1)
+	rec.Seq = seq
+	rec.WallNS = time.Now().UnixNano()
+	slot := &f.slots[seq&f.mask]
+	slot.ver.Store(seq<<1 | 1)
+	slot.rec = rec
+	slot.ver.Store(seq << 1)
+}
+
+// Seq reports how many records have ever been written.
+func (f *FlightRecorder) Seq() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Size reports the ring capacity.
+func (f *FlightRecorder) Size() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Snapshot copies every consistently-readable record, oldest first.
+// Slots caught mid-write (seqlock version odd or changed during the
+// copy) are skipped — the writer always wins.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightRecord, 0, len(f.slots))
+	for i := range f.slots {
+		slot := &f.slots[i]
+		v1 := slot.ver.Load()
+		if v1 == 0 || v1&1 == 1 {
+			continue
+		}
+		rec := slot.rec
+		if slot.ver.Load() != v1 {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// AddSample appends one counter observation, keeping the last
+// maxFlightSamples.
+func (f *FlightRecorder) AddSample(s FlightSample) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.samples = append(f.samples, s)
+	if len(f.samples) > maxFlightSamples {
+		f.samples = f.samples[len(f.samples)-maxFlightSamples:]
+	}
+	f.mu.Unlock()
+}
+
+// Dump writes the sidecar file atomically (tmp + rename). Safe to
+// call at any time — on the mirror tick, on SIGTERM, from a panic
+// handler; nil-safe and a no-op before StartMirror names the path.
+func (f *FlightRecorder) Dump() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumpLocked()
+}
+
+func (f *FlightRecorder) dumpLocked() error {
+	if f.path == "" {
+		return nil
+	}
+	records := f.Snapshot()
+	seq := f.seq.Load()
+	d := FlightDump{
+		Schema:  flightSchema,
+		WallNS:  time.Now().UnixNano(),
+		Seq:     seq,
+		Dropped: seq - uint64(len(records)),
+		Records: records,
+		Samples: f.samples,
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	tmp := f.path + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, f.path)
+}
+
+// StartMirror begins periodically mirroring the ring to the sidecar
+// at path. Each tick calls sample (if non-nil) for a counter
+// observation, then rewrites the sidecar. Stop ends the loop with a
+// final dump.
+func (f *FlightRecorder) StartMirror(path string, interval time.Duration, sample func() FlightSample) {
+	if f == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	f.mu.Lock()
+	f.path = path
+	f.mu.Unlock()
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				if sample != nil {
+					f.AddSample(sample())
+				}
+				f.Dump()
+			}
+		}
+	}()
+}
+
+// Stop ends the mirror goroutine and writes the final dump — the
+// SIGTERM path runs this before the telemetry listener closes, so the
+// sidecar always reflects the drained state.
+func (f *FlightRecorder) Stop() {
+	if f == nil {
+		return
+	}
+	if f.stop != nil {
+		close(f.stop)
+		<-f.done
+		f.stop, f.done = nil, nil
+	}
+	f.Dump()
+}
+
+// ReadFlightDump parses a sidecar file (the soak harvester and tests).
+func ReadFlightDump(path string) (*FlightDump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

@@ -22,6 +22,7 @@ import (
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
+	"goptm/internal/obs"
 	"goptm/internal/server"
 	"goptm/internal/simtime"
 	"goptm/internal/stats"
@@ -59,6 +60,18 @@ type Config struct {
 	// adaptive run's convergence ramp does not pollute its steady-state
 	// p99. Applied identically to static runs for a fair comparison.
 	Warmup int
+
+	// Recorder, when tracing, receives the machine's spans and counter
+	// tracks plus the sampled request-lifecycle records; export it with
+	// WriteTrace after the run. Nil (the default) records nothing and
+	// leaves every golden-pinned report byte-identical.
+	Recorder *obs.Recorder
+	// TraceSample keeps ~1 in N arrivals for lifecycle tracing (1 keeps
+	// all, 0 disables); TraceSeed fixes which arrivals are kept. All
+	// stamps ride the virtual clock, so sampling never shifts a latency
+	// curve.
+	TraceSample int
+	TraceSeed   uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -96,11 +109,11 @@ type Result struct {
 	Shed     int64 // deadline-shed after queueing
 	Rejected int64 // refused at admission (queue full)
 
-	P50, P90, P99 int64   // enqueue→completion latency, virtual ns (post-warmup)
-	MeanBatch     float64 // average coalesced batch size
-	Batches       int64
-	ElapsedNS     int64   // virtual time from first arrival to drain
-	Throughput    float64 // executed requests per virtual second
+	P50, P90, P99, P999 int64   // enqueue→completion latency, virtual ns (post-warmup)
+	MeanBatch           float64 // average coalesced batch size
+	Batches             int64
+	ElapsedNS           int64   // virtual time from first arrival to drain
+	Throughput          float64 // executed requests per virtual second
 
 	CtrlSteps    int64  // controller evaluations across shards (0 when static)
 	CtrlTraceFNV uint64 // determinism fingerprint of the controller traces
@@ -121,6 +134,7 @@ func Run(cfg Config) (Result, error) {
 		Shards:   cfg.Shards,
 		MaxBatch: logBound,
 		Lockstep: true,
+		Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return Result{}, err
@@ -154,6 +168,8 @@ func Run(cfg Config) (Result, error) {
 		DeadlineNS:    cfg.DeadlineNS,
 		Adaptive:      cfg.Adaptive,
 		Ctrl:          ctrl,
+		TraceSample:   cfg.TraceSample,
+		TraceSeed:     cfg.TraceSeed,
 	})
 
 	// The open-loop generator: arrivals with seeded integer gaps,
@@ -182,6 +198,10 @@ func Run(cfg Config) (Result, error) {
 			req.Op = server.OpGet
 		}
 		req.EnqVT = th0.Now()
+		// Parse and enqueue coincide in the open-loop model: the sampled
+		// chain's TS[0] and TS[1] land on the arrival instant, so the
+		// seven phase durations telescope to exactly the recorded latency.
+		req.Trace = exec.TraceStart(req.EnqVT)
 		if !exec.Submit(req) {
 			rejected++
 		}
@@ -199,6 +219,7 @@ func Run(cfg Config) (Result, error) {
 		P50:       es.Latency.P50(),
 		P90:       es.Latency.P90(),
 		P99:       es.Latency.P99(),
+		P999:      es.Latency.P999(),
 		Batches:   es.BatchSizes.Count(),
 		CtrlSteps: es.CtrlSteps,
 		Latency:   es.Latency,
@@ -250,12 +271,12 @@ func Curve(cfg Config, batchSizes []int) ([]Result, error) {
 // the bytes are platform-independent.
 func Report(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %-10s %-9s %-6s %-6s %-9s %-9s %-9s %-9s %-10s\n",
-		"batch", "rate", "executed", "shed", "rej", "p50ns", "p90ns", "p99ns", "meanbatch", "req/s")
+	fmt.Fprintf(&b, "%-6s %-10s %-9s %-6s %-6s %-9s %-9s %-9s %-9s %-9s %-10s\n",
+		"batch", "rate", "executed", "shed", "rej", "p50ns", "p90ns", "p99ns", "p999ns", "meanbatch", "req/s")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-6d %-10.0f %-9d %-6d %-6d %-9d %-9d %-9d %-9.2f %-10.0f\n",
+		fmt.Fprintf(&b, "%-6d %-10.0f %-9d %-6d %-6d %-9d %-9d %-9d %-9d %-9.2f %-10.0f\n",
 			r.Cfg.MaxBatch, r.Cfg.Rate, r.Executed, r.Shed, r.Rejected,
-			r.P50, r.P90, r.P99, r.MeanBatch, r.Throughput)
+			r.P50, r.P90, r.P99, r.P999, r.MeanBatch, r.Throughput)
 	}
 	return b.String()
 }

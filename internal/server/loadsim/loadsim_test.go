@@ -62,7 +62,7 @@ func TestGoldenHash(t *testing.T) {
 	}
 	sum := sha256.Sum256([]byte(Report(results)))
 	got := hex.EncodeToString(sum[:])
-	const want = "2e80337f0ecb7809892d9fd573239618bda48a49518a313f29026676e42a9445"
+	const want = "d25a47a0ae4cf4ec75df8c2b9b35d19403df7ab1908edb057d247f8ea393a500"
 	if got != want {
 		t.Fatalf("golden report hash changed:\n got %s\nwant %s\nreport:\n%s", got, want, Report(results))
 	}

@@ -229,9 +229,9 @@ func BenchJSON(sw *Sweep) []byte {
 	b.WriteString("  \"rows\": [\n")
 	for ri, row := range sw.Rows {
 		cellJSON := func(c CellResult) string {
-			return fmt.Sprintf("{\"label\": %q, \"executed\": %d, \"shed\": %d, \"rejected\": %d, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"mean_batch_x100\": %d, \"ctrl_steps\": %d, \"ctrl_trace_fnv\": \"%016x\"}",
+			return fmt.Sprintf("{\"label\": %q, \"executed\": %d, \"shed\": %d, \"rejected\": %d, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"p999_ns\": %d, \"mean_batch_x100\": %d, \"ctrl_steps\": %d, \"ctrl_trace_fnv\": \"%016x\"}",
 				c.Label, c.Res.Executed, c.Res.Shed, c.Res.Rejected,
-				c.Res.P50, c.Res.P90, c.Res.P99, int64(c.Res.MeanBatch*100+0.5),
+				c.Res.P50, c.Res.P90, c.Res.P99, c.Res.P999, int64(c.Res.MeanBatch*100+0.5),
 				c.Res.CtrlSteps, c.Res.CtrlTraceFNV)
 		}
 		fmt.Fprintf(&b, "    {\"rate\": %d,\n", int64(row.Rate))

@@ -1,0 +1,164 @@
+package loadsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"goptm/internal/obs"
+)
+
+// traceDoc is the slice of the Chrome trace-event schema the tests
+// inspect.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func runTraced(t *testing.T, cfg Config) (Result, *obs.Recorder, traceDoc) {
+	t.Helper()
+	rec := obs.New(cfg.Shards+1, true)
+	cfg.Recorder = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	return res, rec, doc
+}
+
+// TestTraceRequestChains is the tentpole acceptance check: a sampled
+// run exports request span chains where every record covers all seven
+// phases with monotone boundaries, and the phase durations sum exactly
+// to the end-to-end latency (parse and enqueue coincide in the open
+// loop, so the tolerance is zero virtual ticks).
+func TestTraceRequestChains(t *testing.T) {
+	cfg := Config{
+		Shards: 2, Requests: 2000, Rate: 2e6, Seed: 3,
+		TraceSample: 16, TraceSeed: 11,
+	}
+	res, rec, doc := runTraced(t, cfg)
+	if res.Executed == 0 {
+		t.Fatal("run executed nothing")
+	}
+	recs := rec.Requests()
+	if len(recs) == 0 {
+		t.Fatal("sampling retained no request records")
+	}
+	// Roughly 1/16 of 2000 arrivals; the hash-based sampler has binomial
+	// spread, so just require a sensible band.
+	if len(recs) < 2000/16/4 || len(recs) > 2000/16*4 {
+		t.Fatalf("sampled %d of 2000 at 1/16 — sampler off the rails", len(recs))
+	}
+	for _, q := range recs {
+		for p := 0; p < int(obs.NumReqPhases); p++ {
+			if q.TS[p+1] < q.TS[p] {
+				t.Fatalf("req %d: boundary %d goes backwards: %v", q.ID, p, q.TS)
+			}
+		}
+		var sum int64
+		for p := 0; p < int(obs.NumReqPhases); p++ {
+			sum += q.TS[p+1] - q.TS[p]
+		}
+		if e2e := q.TS[obs.NumReqPhases] - q.TS[0]; sum != e2e {
+			t.Fatalf("req %d: phases sum to %d, end-to-end is %d", q.ID, sum, e2e)
+		}
+	}
+
+	// The exported chains: pick any non-shed request id and assert the
+	// full phase taxonomy appears with the right total.
+	var want *obs.ReqRecord
+	for i := range recs {
+		if !recs[i].Shed {
+			want = &recs[i]
+			break
+		}
+	}
+	if want == nil {
+		t.Fatal("every sampled request was shed")
+	}
+	phases := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 2 {
+			continue
+		}
+		if id, ok := ev.Args["req"].(float64); ok && uint64(id) == want.ID {
+			phases[ev.Name] += ev.Dur
+		}
+	}
+	var sum float64
+	for p := obs.ReqPhase(0); p < obs.NumReqPhases; p++ {
+		d, ok := phases[p.String()]
+		if !ok {
+			t.Fatalf("req %d chain missing phase %q: %v", want.ID, p, phases)
+		}
+		sum += d
+	}
+	if e2e := float64(want.TS[obs.NumReqPhases]-want.TS[0]) / 1000.0; sum != e2e {
+		t.Fatalf("rendered chain sums to %fµs, end-to-end is %fµs", sum, e2e)
+	}
+}
+
+// TestTraceSamplingDeterminism: the same (seed, sample) keeps the same
+// arrivals.
+func TestTraceSamplingDeterminism(t *testing.T) {
+	cfg := Config{Shards: 1, Requests: 800, Seed: 5, TraceSample: 8, TraceSeed: 42}
+	_, rec1, _ := runTraced(t, cfg)
+	_, rec2, _ := runTraced(t, cfg)
+	a, b := rec1.Requests(), rec2.Requests()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("sampled %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTraceServerCounterTracks covers the serving-layer counter tracks
+// (queue depth, controller cap and window): they must appear in an
+// exported adaptive-run trace, and on a single shard — where one
+// worker emits every sample — each track's timestamps must be
+// monotone.
+func TestTraceServerCounterTracks(t *testing.T) {
+	cfg := Config{
+		Shards: 1, Requests: 3000, Rate: 6e6, Seed: 9, Adaptive: true,
+	}
+	_, _, doc := runTraced(t, cfg)
+	tracks := map[string][]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" {
+			tracks[ev.Name] = append(tracks[ev.Name], ev.Ts)
+		}
+	}
+	for _, name := range []string{"server_queue_depth", "server_batch_cap", "server_window_ns"} {
+		ts := tracks[name]
+		if len(ts) == 0 {
+			t.Errorf("counter track %q missing from the trace (have %d tracks)", name, len(tracks))
+			continue
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[i-1] {
+				t.Errorf("track %q timestamps regress at %d: %f < %f", name, i, ts[i], ts[i-1])
+				break
+			}
+		}
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"goptm/internal/core"
 	"goptm/internal/durability"
@@ -43,6 +45,7 @@ import (
 	"goptm/internal/memdev"
 	"goptm/internal/metrics"
 	"goptm/internal/obs"
+	"goptm/internal/stats"
 	"goptm/internal/workload/kvstore"
 )
 
@@ -153,6 +156,11 @@ type Store struct {
 	Recovered  bool
 	Recovery   core.RecoveryReport
 	WALBatches int
+
+	// flushLat records the host-time cost of each journal flush; the
+	// telemetry endpoint exposes it as the journal-flush summary.
+	flushMu  sync.Mutex
+	flushLat stats.Histogram
 }
 
 // Open formats a fresh store: a new machine, an empty KV table
@@ -482,16 +490,44 @@ func (st *Store) FinishJournal() {
 // reconstructible from image + journal even if the process is killed
 // the next instant.
 func (st *Store) DrainPersist(th *core.Thread) error {
+	st.DrainMedia(th)
+	return st.FlushJournal()
+}
+
+// DrainMedia is the barrier's first half: force every pending WPQ
+// entry onto simulated media and charge the calling shard the virtual
+// time the drain took.
+func (st *Store) DrainMedia(th *core.Thread) {
 	n, maxVT := st.tm.Bus().Device().DrainAll()
 	if n > 0 {
 		if now := th.Now(); maxVT > now {
 			th.Compute(maxVT - now)
 		}
 	}
-	if st.wal != nil {
-		return st.wal.flush()
+}
+
+// FlushJournal is the barrier's second half: push the journal batch to
+// the host file. The flush's host-time cost lands in the journal-flush
+// histogram the telemetry endpoint exposes.
+func (st *Store) FlushJournal() error {
+	if st.wal == nil {
+		return nil
 	}
-	return nil
+	start := time.Now()
+	err := st.wal.flush()
+	st.flushMu.Lock()
+	st.flushLat.Record(time.Since(start).Nanoseconds())
+	st.flushMu.Unlock()
+	return err
+}
+
+// JournalFlushStats snapshots the journal-flush latency histogram.
+func (st *Store) JournalFlushStats() stats.Histogram {
+	var out stats.Histogram
+	st.flushMu.Lock()
+	out.Merge(&st.flushLat)
+	st.flushMu.Unlock()
+	return out
 }
 
 // Bus exposes the memory system (tests, quiesce on clean shutdown).

@@ -1,0 +1,54 @@
+package soak
+
+import (
+	"goptm/internal/server"
+)
+
+// FlightHarvest is the target's flight-recorder sidecar as the soak
+// harness attaches it to a verdict: the tail of the completed-request
+// ring plus the counter-sample series from the final pre-kill mirror
+// window. A SIGKILLed process cannot be asked what it was doing; the
+// harvest is the answer its mirror file left behind.
+type FlightHarvest struct {
+	Path    string                `json:"path"`
+	WallNS  int64                 `json:"wall_ns"` // when the dump was written
+	Seq     uint64                `json:"seq"`     // records ever recorded
+	Dropped uint64                `json:"dropped"` // lost to ring wrap before the dump
+	Records []server.FlightRecord `json:"records"` // newest tail, oldest→newest
+	Samples []server.FlightSample `json:"samples"`
+}
+
+// defaultFlightTail bounds the records a harvest carries; the full
+// ring can be thousands of entries, and the verdict wants the final
+// window, not a bulk dump.
+const defaultFlightTail = 32
+
+// harvestFlight reads the sidecar mirrored next to image and trims it
+// to the newest tail records. Returns nil when no sidecar exists (old
+// binary, flight disabled, or the kill landed before the first mirror
+// tick) — a missing harvest is not a violation.
+func harvestFlight(image string, tail int) *FlightHarvest {
+	if image == "" {
+		return nil
+	}
+	if tail <= 0 {
+		tail = defaultFlightTail
+	}
+	path := server.FlightPath(image)
+	d, err := server.ReadFlightDump(path)
+	if err != nil {
+		return nil
+	}
+	h := &FlightHarvest{
+		Path:    path,
+		WallNS:  d.WallNS,
+		Seq:     d.Seq,
+		Dropped: d.Dropped,
+		Records: d.Records,
+		Samples: d.Samples,
+	}
+	if len(h.Records) > tail {
+		h.Records = h.Records[len(h.Records)-tail:]
+	}
+	return h
+}

@@ -215,3 +215,7 @@ func (t *inprocTarget) awaitDead() error {
 }
 
 func (t *inprocTarget) shutdown() error { return t.awaitDead() }
+
+// flight: the in-process target dies by simulated power failure, not
+// SIGKILL, and keeps no sidecar — there is nothing to harvest.
+func (t *inprocTarget) flight() *FlightHarvest { return nil }

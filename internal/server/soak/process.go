@@ -29,6 +29,9 @@ type procTarget struct {
 	cmd    *exec.Cmd
 	waitCh chan error
 	drain  chan struct{} // closed when the process logs the drain start
+
+	killed  bool           // a fault was injected since the last awaitDead
+	harvest *FlightHarvest // sidecar tail from the last faulted cycle
 }
 
 func newProcTarget(cfg Config) (*procTarget, error) {
@@ -200,6 +203,7 @@ func (t *procTransport) del(key string) (outcome, bool) {
 func (p *procTarget) kill(mode string, rng *prand) error {
 	p.mu.Lock()
 	cmd, drain := p.cmd, p.drain
+	p.killed = true
 	p.mu.Unlock()
 	switch mode {
 	case "kill":
@@ -232,14 +236,34 @@ func (p *procTarget) awaitDead() error {
 	p.mu.Lock()
 	cmd, waitCh := p.cmd, p.waitCh
 	p.mu.Unlock()
+	var err error
 	select {
 	case <-waitCh:
-		return nil // killed processes exit non-zero by design
+		// Killed processes exit non-zero by design.
 	case <-time.After(15 * time.Second):
 		cmd.Process.Kill()
 		<-waitCh
-		return fmt.Errorf("ptmserve ignored its signal for 15s")
+		err = fmt.Errorf("ptmserve ignored its signal for 15s")
 	}
+	// Harvest the flight sidecar the dead process left behind — but
+	// only after an injected fault, so the final clean shutdown cannot
+	// overwrite the last pre-kill window with its drained state.
+	p.mu.Lock()
+	if p.killed {
+		p.killed = false
+		if h := harvestFlight(p.cfg.Image, p.cfg.FlightTail); h != nil {
+			p.harvest = h
+		}
+	}
+	p.mu.Unlock()
+	return err
+}
+
+// flight reports the sidecar tail harvested after the last fault.
+func (p *procTarget) flight() *FlightHarvest {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.harvest
 }
 
 func (p *procTarget) shutdown() error {

@@ -38,6 +38,10 @@ type Config struct {
 	Shards int    // 0: 4
 	Heap   uint64 // persistent heap words; 0: 1<<18 (small, fast cycles)
 
+	// FlightTail bounds the flight-recorder records harvested into the
+	// verdict after each kill (process mode); 0 selects 32.
+	FlightTail int
+
 	// NoDurable weakens the target on purpose — process mode starts
 	// ptmserve with -durable=false (no journal, no durable-ack
 	// barrier), inproc mode runs the store on the NoReserve domain —
@@ -125,6 +129,11 @@ type Verdict struct {
 	Seed       uint64      `json:"seed"`
 	KillMode   string      `json:"killmode"`
 	Violations []Violation `json:"violations"`
+
+	// Flight is the last harvested flight-recorder tail — the target's
+	// final pre-kill telemetry window. Nil when the target keeps no
+	// flight sidecar (inproc mode, flight disabled).
+	Flight *FlightHarvest `json:"flight,omitempty"`
 }
 
 // Repro is the replayable description of a failed run: the exact
@@ -145,6 +154,10 @@ type Repro struct {
 	Heap          uint64        `json:"heap"`
 	NoDurable     bool          `json:"no_durable"`
 	Violations    []Violation   `json:"violations"`
+
+	// Flight carries the failing run's harvested telemetry tail so a
+	// repro file documents what the server was doing when it died.
+	Flight *FlightHarvest `json:"flight,omitempty"`
 }
 
 // ReproOf captures cfg and the verdict's violations for replay.
@@ -157,6 +170,7 @@ func ReproOf(cfg Config, v Verdict) Repro {
 		Seed: cfg.Seed, Algo: cfg.Algo, Domain: cfg.Domain,
 		Shards: cfg.Shards, Heap: cfg.Heap, NoDurable: cfg.NoDurable,
 		Violations: v.Violations,
+		Flight:     v.Flight,
 	}
 }
 
@@ -224,6 +238,9 @@ type target interface {
 	kill(mode string, rng *prand) error
 	// awaitDead blocks until the service is fully down.
 	awaitDead() error
+	// flight returns the latest flight-recorder harvest (nil when the
+	// target keeps no sidecar).
+	flight() *FlightHarvest
 	// shutdown stops the service cleanly (final cycle).
 	shutdown() error
 }
@@ -401,6 +418,7 @@ func Run(cfg Config) (Verdict, error) {
 			workers[0].violate(cycle, "recover", "", "start", err.Error())
 			collect()
 			v.Cycles = cycle - 1
+			v.Flight = tgt.flight()
 			return v, nil
 		}
 		verifyAll(cycle, "recover")
@@ -453,5 +471,6 @@ func Run(cfg Config) (Verdict, error) {
 	}
 	collect()
 	v.OK = len(v.Violations) == 0
+	v.Flight = tgt.flight()
 	return v, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -229,6 +230,7 @@ func (srv *Server) parse(fields [][]byte, r *bufio.Reader, pend chan *pending) (
 		allSubmitted := true
 		for i, key := range keys {
 			req := &Request{Op: OpGet, Key: key, Done: make(chan struct{})}
+			req.Trace = srv.exec.TraceStart(0) // wall clock; parse boundary
 			if !srv.exec.Submit(req) {
 				allSubmitted = false
 				break
@@ -363,6 +365,7 @@ func (srv *Server) submitCmd(req *Request, noreply bool, render func(w *bufio.Wr
 	if !noreply {
 		req.Done = make(chan struct{})
 	}
+	req.Trace = srv.exec.TraceStart(0) // wall clock; parse boundary
 	if !srv.exec.Submit(req) {
 		if noreply {
 			return nil
@@ -381,29 +384,48 @@ func (srv *Server) submitCmd(req *Request, noreply bool, render func(w *bufio.Wr
 	}}
 }
 
-// writeStats emits the service counters in "STAT name value" form.
-func (srv *Server) writeStats(w *bufio.Writer) {
+// statLines assembles the full stats key set in sorted order. Every
+// key is always present — the controller gauges read 0 and the
+// per-shard operating points read the static configuration when no
+// controller runs — so a monitoring client can parse the response
+// against a fixed schema (the stats test pins exactly this key set).
+func (srv *Server) statLines() []string {
 	met := srv.st.tm.Metrics()
-	stat := func(name string, v int64) { fmt.Fprintf(w, "STAT %s %d\r\n", name, v) }
-	stat("cmd_total", met.Get(metrics.CtrSrvRequests))
-	stat("shed_total", met.Get(metrics.CtrSrvShed))
-	stat("batches_total", met.Get(metrics.CtrSrvBatches))
-	stat("batched_ops_total", met.Get(metrics.CtrSrvBatchedOps))
-	stat("txn_commits", met.Get(metrics.CtrCommits))
-	stat("txn_aborts", met.Get(metrics.CtrAborts))
-	stat("queue_depth", srv.exec.queued.Load())
-	if srv.exec.cfg.Adaptive {
-		stat("ctrl_steps", met.Get(metrics.CtrSrvCtrlSteps))
-		stat("ctrl_steps_up", met.Get(metrics.CtrSrvCtrlUp))
-		stat("ctrl_steps_down", met.Get(metrics.CtrSrvCtrlDown))
+	lines := []string{
+		fmt.Sprintf("batched_ops_total %d", met.Get(metrics.CtrSrvBatchedOps)),
+		fmt.Sprintf("batches_total %d", met.Get(metrics.CtrSrvBatches)),
+		fmt.Sprintf("cmd_total %d", met.Get(metrics.CtrSrvRequests)),
+		fmt.Sprintf("ctrl_steps %d", met.Get(metrics.CtrSrvCtrlSteps)),
+		fmt.Sprintf("ctrl_steps_down %d", met.Get(metrics.CtrSrvCtrlDown)),
+		fmt.Sprintf("ctrl_steps_up %d", met.Get(metrics.CtrSrvCtrlUp)),
+		fmt.Sprintf("queue_depth %d", srv.exec.QueueDepth()),
+		fmt.Sprintf("shed_total %d", met.Get(metrics.CtrSrvShed)),
+		fmt.Sprintf("txn_aborts %d", met.Get(metrics.CtrAborts)),
+		fmt.Sprintf("txn_commits %d", met.Get(metrics.CtrCommits)),
 	}
-	for i := range srv.exec.shards {
-		stat(fmt.Sprintf("shard%d_shed", i), srv.exec.ShardShed(i))
-		if cap, window, steps, ok := srv.exec.ShardCtrl(i); ok {
-			stat(fmt.Sprintf("shard%d_batch_cap", i), int64(cap))
-			stat(fmt.Sprintf("shard%d_window_ns", i), window)
-			stat(fmt.Sprintf("shard%d_ctrl_steps", i), steps)
+	for i := 0; i < srv.exec.NumShards(); i++ {
+		cap, window := srv.exec.ShardParams(i)
+		var steps int64
+		if _, _, s, ok := srv.exec.ShardCtrl(i); ok {
+			steps = s
 		}
+		lines = append(lines,
+			fmt.Sprintf("shard%d_batch_cap %d", i, cap),
+			fmt.Sprintf("shard%d_ctrl_steps %d", i, steps),
+			fmt.Sprintf("shard%d_queue_depth %d", i, srv.exec.ShardQueueDepth(i)),
+			fmt.Sprintf("shard%d_shed %d", i, srv.exec.ShardShed(i)),
+			fmt.Sprintf("shard%d_window_ns %d", i, window),
+		)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// writeStats emits the service counters in "STAT name value" form,
+// keys in sorted order.
+func (srv *Server) writeStats(w *bufio.Writer) {
+	for _, line := range srv.statLines() {
+		fmt.Fprintf(w, "STAT %s\r\n", line)
 	}
 	fmt.Fprintf(w, "END\r\n")
 }

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expectedStatKeys is the full stats schema for a server with shards
+// shards — the machine-checkable contract: every key always present,
+// controller gauges included (0 / static values when no controller
+// runs).
+func expectedStatKeys(shards int) []string {
+	keys := []string{
+		"batched_ops_total", "batches_total", "cmd_total",
+		"ctrl_steps", "ctrl_steps_down", "ctrl_steps_up",
+		"queue_depth", "shed_total", "txn_aborts", "txn_commits",
+	}
+	for i := 0; i < shards; i++ {
+		keys = append(keys,
+			fmt.Sprintf("shard%d_batch_cap", i),
+			fmt.Sprintf("shard%d_ctrl_steps", i),
+			fmt.Sprintf("shard%d_queue_depth", i),
+			fmt.Sprintf("shard%d_shed", i),
+			fmt.Sprintf("shard%d_window_ns", i),
+		)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// readStats sends the stats command and parses every response line.
+func readStats(t *testing.T, conn net.Conn, r *bufio.Reader) map[string]int64 {
+	t.Helper()
+	fmt.Fprintf(conn, "stats\r\n")
+	got := map[string]int64{}
+	var order []string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			t.Fatalf("malformed stats line: %q", line)
+		}
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			t.Fatalf("stats value for %s is not an integer: %q", fields[1], fields[2])
+		}
+		got[fields[1]] = v
+		order = append(order, fields[1])
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Fatalf("stats keys not in sorted order: %v", order)
+	}
+	return got
+}
+
+func assertStatKeys(t *testing.T, got map[string]int64, shards int) {
+	t.Helper()
+	want := expectedStatKeys(shards)
+	if len(got) != len(want) {
+		t.Errorf("stats has %d keys, want %d", len(got), len(want))
+	}
+	for _, k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("stats missing key %s", k)
+		}
+	}
+	for k := range got {
+		i := sort.SearchStrings(want, k)
+		if i >= len(want) || want[i] != k {
+			t.Errorf("stats has unexpected key %s", k)
+		}
+	}
+}
+
+// TestStatsSchemaStatic: a static server's stats response carries the
+// complete sorted key set, with the controller gauges at zero and the
+// per-shard operating points reporting the static configuration.
+func TestStatsSchemaStatic(t *testing.T) {
+	srv, _, conn, r := pipeServer(t, StoreConfig{Shards: 2},
+		ExecConfig{DeadlineNS: -1, MaxBatch: 4, BatchWindowNS: 1500, IdleSleep: 20 * time.Microsecond})
+	_ = srv
+
+	fmt.Fprintf(conn, "set a 0 0 1\r\nx\r\n")
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("set: %q", line)
+	}
+
+	got := readStats(t, conn, r)
+	assertStatKeys(t, got, 2)
+	if got["cmd_total"] != 1 {
+		t.Errorf("cmd_total = %d, want 1", got["cmd_total"])
+	}
+	for i := 0; i < 2; i++ {
+		if v := got[fmt.Sprintf("shard%d_batch_cap", i)]; v != 4 {
+			t.Errorf("shard%d_batch_cap = %d, want static 4", i, v)
+		}
+		if v := got[fmt.Sprintf("shard%d_window_ns", i)]; v != 1500 {
+			t.Errorf("shard%d_window_ns = %d, want static 1500", i, v)
+		}
+		if v := got[fmt.Sprintf("shard%d_ctrl_steps", i)]; v != 0 {
+			t.Errorf("shard%d_ctrl_steps = %d, want 0 on a static server", i, v)
+		}
+	}
+	for _, k := range []string{"ctrl_steps", "ctrl_steps_up", "ctrl_steps_down"} {
+		if got[k] != 0 {
+			t.Errorf("%s = %d, want 0 on a static server", k, got[k])
+		}
+	}
+}
+
+// TestStatsSchemaAdaptive: same schema under the adaptive controller,
+// with live operating points.
+func TestStatsSchemaAdaptive(t *testing.T) {
+	srv, _, conn, r := pipeServer(t, StoreConfig{Shards: 1},
+		ExecConfig{DeadlineNS: -1, Adaptive: true, IdleSleep: 20 * time.Microsecond})
+	_ = srv
+
+	got := readStats(t, conn, r)
+	assertStatKeys(t, got, 1)
+	if got["shard0_batch_cap"] <= 0 {
+		t.Errorf("shard0_batch_cap = %d, want positive", got["shard0_batch_cap"])
+	}
+	if got["shard0_window_ns"] < 0 {
+		t.Errorf("shard0_window_ns = %d, want >= 0", got["shard0_window_ns"])
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"goptm/internal/obs"
+)
+
+// reqTracer makes the request-lifecycle sampling decision and owns
+// the clock the lifecycle stamps run on: virtual nanoseconds under
+// loadsim/lockstep, host nanoseconds since the tracer's epoch for the
+// real TCP server (so wall-time traces still start near zero and load
+// into ui.perfetto.dev without µs-precision loss).
+//
+// A nil tracer is the disabled configuration: every Submit/pop/batch
+// site costs exactly one nil check on the Request's Trace pointer, so
+// the op path stays allocation-free and the virtual timeline — and
+// with it every golden-pinned loadsim hash — is untouched.
+type reqTracer struct {
+	rec   *obs.Recorder
+	every uint64
+	seed  uint64
+	wall  bool
+	epoch int64 // wall mode: UnixNano of tracer creation
+	n     atomic.Uint64
+}
+
+// newReqTracer returns nil unless rec retains trace events and sample
+// is positive (sample = N keeps ~1 in N requests).
+func newReqTracer(rec *obs.Recorder, sample int, seed uint64, wall bool) *reqTracer {
+	if !rec.Tracing() || sample <= 0 {
+		return nil
+	}
+	t := &reqTracer{rec: rec, every: uint64(sample), seed: seed, wall: wall}
+	if wall {
+		t.epoch = time.Now().UnixNano()
+	}
+	return t
+}
+
+// splitmix64 is the sampler's mixing function — the same generator
+// the soak harness seeds with, chosen here because one multiply-xor
+// chain turns (seed, arrival index) into an unbiased keep/drop coin.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// now is the tracer's clock: vt as given, or host ns since the epoch.
+func (t *reqTracer) now(vt int64) int64 {
+	if t.wall {
+		return time.Now().UnixNano() - t.epoch
+	}
+	return vt
+}
+
+// start decides whether the next arriving request is sampled. The
+// decision hashes the arrival index with the seed, so a fixed (seed,
+// sample) picks the same arrivals on every run of a deterministic
+// workload — and the parse boundary TS[0] is stamped at vt (or wall
+// now). Nil-safe: a nil tracer samples nothing.
+func (t *reqTracer) start(vt int64) *obs.ReqRecord {
+	if t == nil {
+		return nil
+	}
+	id := t.n.Add(1) - 1
+	if t.every > 1 && splitmix64(t.seed^id)%t.every != 0 {
+		return nil
+	}
+	rec := &obs.ReqRecord{ID: id}
+	rec.TS[0] = t.now(vt)
+	return rec
+}
+
+// finish hands a completed record to the recorder.
+func (t *reqTracer) finish(rec *obs.ReqRecord) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.rec.Request(*rec)
+}

@@ -114,6 +114,16 @@ func (h *Histogram) P90() int64 { return h.Percentile(90) }
 // P99 reports the 99th percentile (see P50 for the error bound).
 func (h *Histogram) P99() int64 { return h.Percentile(99) }
 
+// P999 reports the 99.9th percentile (see P50 for the error bound) —
+// the extreme-tail quantile the serving-path reports surface, since a
+// group-commit window or journal flush that hurts only one request in
+// a thousand is invisible at p99.
+func (h *Histogram) P999() int64 { return h.Percentile(99.9) }
+
+// Sum reports the total of all recorded samples in ns (the telemetry
+// exposition's summary _sum line).
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Bucket is one non-empty histogram bucket in the JSON encoding:
 // Count samples in [LoNS, 2*LoNS) virtual ns.
 type Bucket struct {
